@@ -1,0 +1,129 @@
+// Command gist-bench regenerates the paper's evaluation: every table and
+// figure of §5 (plus the §4 and §5.3 in-text measurements) against the
+// 11-bug suite.
+//
+// Usage:
+//
+//	gist-bench -exp all
+//	gist-bench -exp table1
+//	gist-bench -exp fig11 -bugs pbzip2,apache-1 -runs 6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bugs"
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: table1, sketches, fig9, fig10, fig11, fig12, fig13, breakdown, swpt, extpt, all")
+		bugList = flag.String("bugs", "", "comma-separated bug subset (default: all 11)")
+		runs    = flag.Int("runs", 0, "runs per measurement point (0 = experiment default)")
+	)
+	flag.Parse()
+
+	suite := bugs.All()
+	if *bugList != "" {
+		suite = experiments.Suite(strings.Split(*bugList, ",")...)
+		if len(suite) == 0 {
+			fmt.Fprintf(os.Stderr, "gist-bench: no known bugs in %q\n", *bugList)
+			os.Exit(2)
+		}
+	}
+
+	run := func(name string, f func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Printf("==== %s ====\n\n", name)
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "gist-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("table1", func() error {
+		rows, err := experiments.Table1(suite)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderTable1(rows))
+		return nil
+	})
+	run("sketches", func() error {
+		figs, err := experiments.SketchFigures()
+		if err != nil {
+			return err
+		}
+		for _, name := range []string{"pbzip2", "curl", "apache-3"} {
+			fmt.Printf("---- %s ----\n%s\n", name, figs[name])
+		}
+		return nil
+	})
+	run("fig9", func() error {
+		rows, err := experiments.Fig9(suite)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFig9(rows))
+		return nil
+	})
+	run("fig10", func() error {
+		rows, err := experiments.Fig10(suite)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFig10(rows))
+		return nil
+	})
+	run("fig11", func() error {
+		points, err := experiments.Fig11(suite, nil, *runs)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFig11(points))
+		return nil
+	})
+	run("fig12", func() error {
+		rows, err := experiments.Fig12(suite, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFig12(rows))
+		return nil
+	})
+	run("fig13", func() error {
+		rows, err := experiments.Fig13(suite, *runs)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFig13(rows))
+		return nil
+	})
+	run("breakdown", func() error {
+		rows, err := experiments.Breakdown(suite, *runs)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderBreakdown(rows))
+		return nil
+	})
+	run("extpt", func() error {
+		rows, err := experiments.ExtendedPT(suite)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderExtPT(rows))
+		return nil
+	})
+	run("swpt", func() error {
+		fmt.Print(experiments.RenderSWPT(experiments.SoftwarePT(suite, *runs)))
+		return nil
+	})
+}

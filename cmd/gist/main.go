@@ -1,0 +1,118 @@
+// Command gist runs the failure-sketching pipeline on one of the bugs in
+// the evaluation suite and prints the resulting failure sketch, exactly
+// the artifact the paper's Figs. 1, 7 and 8 show.
+//
+// Usage:
+//
+//	gist -list
+//	gist -bug pbzip2
+//	gist -bug apache-3 -sigma0 4 -features cf,df -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bugs"
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list the bugs in the suite")
+		bugName  = flag.String("bug", "", "bug to diagnose (see -list)")
+		sigma0   = flag.Int("sigma0", 2, "initial tracked-slice size in statements")
+		features = flag.String("features", "static,cf,df", "comma-separated tracking features: static,cf,df,extpt")
+		verbose  = flag.Bool("v", false, "print per-iteration details")
+		noOracle = flag.Bool("full", false, "run AsT to completion instead of stopping at the developer oracle")
+		asJSON   = flag.Bool("json", false, "emit the sketch as JSON instead of text")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("bug            software      class")
+		for _, b := range bugs.All() {
+			fmt.Printf("%-14s %-13s %s\n", b.Name, b.Software, b.Class)
+		}
+		return
+	}
+	b := bugs.ByName(*bugName)
+	if b == nil {
+		fmt.Fprintf(os.Stderr, "gist: unknown bug %q (use -list)\n", *bugName)
+		os.Exit(2)
+	}
+
+	feats := parseFeatures(*features)
+	cfg := b.GistConfig()
+	cfg.Features = feats
+	cfg.Sigma0 = *sigma0
+	if !*noOracle {
+		cfg.StopWhen = experiments.DeveloperOracle(b)
+	}
+
+	res, err := core.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gist: %v\n", err)
+		if res == nil || res.Sketch == nil {
+			os.Exit(1)
+		}
+	}
+
+	if *asJSON {
+		data, err := res.Sketch.MarshalIndentJSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gist: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(data))
+		return
+	}
+
+	fmt.Printf("Failure report: %s\n", res.Report.Kind)
+	fmt.Printf("Static slice: %d statements (%d IR instructions)\n",
+		res.Slice.LineCount(), res.Slice.InstrCount())
+	fmt.Printf("Failure recurrences used: %d across %d production runs (first failure after %d runs)\n",
+		res.FailureRecurrences, res.TotalRuns, res.DiscoveryRuns)
+	fmt.Printf("Average client overhead: %.2f%%\n\n", res.AvgOverheadPct)
+
+	if *verbose {
+		for i, it := range res.Iters {
+			fmt.Printf("iteration %d: sigma=%d tracked=%d instrs, %d failing / %d successful runs, overhead %.2f%%, +%d refined\n",
+				i+1, it.Sigma, it.TrackedInstrs, it.Failing, it.Successful, it.OverheadPct, len(it.AddedInstrs))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println(res.Sketch.Render())
+
+	rel, ord, overall := res.Sketch.Accuracy(b.Ideal())
+	fmt.Printf("Accuracy vs. hand-written ideal sketch: relevance %.1f%%, ordering %.1f%%, overall %.1f%%\n",
+		rel, ord, overall)
+	fmt.Printf("\nHow developers fixed it: %s\n", b.Fix)
+}
+
+func parseFeatures(s string) core.Features {
+	var f core.Features
+	for _, part := range strings.Split(s, ",") {
+		switch strings.TrimSpace(part) {
+		case "static":
+			f.Static = true
+		case "cf", "controlflow", "control-flow":
+			f.ControlFlow = true
+		case "df", "dataflow", "data-flow":
+			f.DataFlow = true
+		case "extpt", "ptwrite", "extended-pt":
+			f.ControlFlow = true
+			f.DataFlow = true
+			f.ExtendedPT = true
+		case "":
+		default:
+			fmt.Fprintf(os.Stderr, "gist: unknown feature %q\n", part)
+			os.Exit(2)
+		}
+	}
+	return f
+}

@@ -1,0 +1,43 @@
+// Apache: reproduce Fig. 8 of the paper — the failure sketch of Apache
+// bug #21287, a double free caused by a non-atomic decrement-check-free
+// triplet on a cache object's reference count — and contrast Gist's
+// always-on cost with the full-tracing alternatives of Fig. 13.
+//
+// Run with: go run ./examples/apache
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bugs"
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	bug := bugs.ByName("apache-3")
+
+	res, err := experiments.Diagnose(bug, core.AllFeatures(), 0)
+	if err != nil {
+		log.Fatalf("gist: %v", err)
+	}
+	fmt.Println(res.Sketch.Render())
+
+	fmt.Printf("Gist slice tracking: %.2f%% average client overhead, %d failure recurrences\n\n",
+		res.AvgOverheadPct, res.FailureRecurrences)
+
+	// The Fig. 13 framing: what full tracing would have cost instead.
+	rows, err := experiments.Fig13([]*bugs.Bug{bug}, 6)
+	if err != nil {
+		log.Fatalf("fig13: %v", err)
+	}
+	r := rows[0]
+	fmt.Println("Full-tracing alternatives on the same program:")
+	fmt.Printf("  Intel PT, whole program:       %7.2f%%\n", r.IntelPTPct)
+	fmt.Printf("  record/replay (rr-style):      %7.1f%%  (%.0fx Intel PT)\n", r.MozillaRRPct, r.Ratio)
+	if res.AvgOverheadPct > 0 {
+		fmt.Printf("  record/replay vs Gist:         %7.0fx\n", r.MozillaRRPct/res.AvgOverheadPct)
+	}
+	fmt.Printf("\nFix: %s\n", bug.Fix)
+}

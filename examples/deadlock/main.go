@@ -1,0 +1,73 @@
+// Deadlock: diagnose a hang. Gist handles failures beyond crashes —
+// assertion violations, deadlocks, and hangs (§3.3) — because the VM
+// turns them into failure reports with a failing statement and stack.
+//
+// The program is a classic lock-order inversion: one thread locks A then
+// B, the other locks B then A. Some schedules interleave the two lock
+// acquisitions and every thread blocks forever; the failure sketch shows
+// the two lock statements of the cycle.
+//
+// Run with: go run ./examples/deadlock
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+)
+
+const program = `
+global int giant = 0;
+global int cache = 0;
+global int hits = 0;
+int work(int n) {
+	int acc = 0;
+	for (int i = 0; i < n; i++) { acc = acc + i % 3; }
+	return acc;
+}
+void request(int arg) {
+	lock(&giant);
+	int w = work(40);
+	lock(&cache);
+	hits = hits + 1;
+	unlock(&cache);
+	unlock(&giant);
+}
+void evict(int arg) {
+	lock(&cache);
+	int w = work(40);
+	lock(&giant);
+	hits = hits - 1;
+	unlock(&giant);
+	unlock(&cache);
+}
+int main() {
+	int warm = work(2500);
+	int r = spawn(request, 0);
+	int e = spawn(evict, 0);
+	join(r);
+	join(e);
+	return hits;
+}`
+
+func main() {
+	prog, err := ir.Compile("locks.mc", program)
+	if err != nil {
+		log.Fatalf("compile: %v", err)
+	}
+	res, err := core.Run(core.Config{
+		Prog:      prog,
+		Title:     "lock-order inversion",
+		Endpoints: 30,
+		SeedBase:  1,
+	})
+	if err != nil {
+		log.Fatalf("gist: %v", err)
+	}
+	fmt.Printf("Diagnosed: %s (first failure after %d runs, %d recurrences used)\n\n",
+		res.Report.Kind, res.DiscoveryRuns, res.FailureRecurrences)
+	fmt.Println(res.Sketch.Render())
+	fmt.Println("Fix: acquire giant and cache in a single global order.")
+}

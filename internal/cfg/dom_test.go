@@ -1,0 +1,287 @@
+package cfg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ir"
+)
+
+func compile(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	p, err := ir.Compile("t.mc", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return p
+}
+
+const diamond = `
+int main() {
+	int x = input(0);
+	int y = 0;
+	if (x > 0) { y = 1; } else { y = 2; }
+	return y;
+}`
+
+func TestDominatorsDiamond(t *testing.T) {
+	p := compile(t, diamond)
+	f := p.FuncByName["main"]
+	d := Dominators(f)
+	entry := f.Entry()
+	// Entry dominates every reachable block.
+	for _, b := range f.Blocks {
+		if len(b.Preds) == 0 && b != entry {
+			continue // unreachable filler
+		}
+		if !d.Dominates(entry, b) {
+			t.Errorf("entry should dominate bb%d", b.ID)
+		}
+	}
+	// The two branch arms do not dominate the join block.
+	var branch *ir.Block
+	for _, b := range f.Blocks {
+		if tm := b.Terminator(); tm != nil && tm.Op == ir.OpBr {
+			branch = b
+		}
+	}
+	if branch == nil {
+		t.Fatal("no branch block")
+	}
+	thenB, elseB := branch.Succs()[0], branch.Succs()[1]
+	// Find the join: a block with 2 preds.
+	var join *ir.Block
+	for _, b := range f.Blocks {
+		if len(b.Preds) == 2 {
+			join = b
+		}
+	}
+	if join == nil {
+		t.Fatal("no join block")
+	}
+	if d.Dominates(thenB, join) || d.Dominates(elseB, join) {
+		t.Error("branch arms must not dominate the join")
+	}
+	if !d.Dominates(branch, join) {
+		t.Error("branch block must dominate the join")
+	}
+	if id := d.IDom(join); id == nil || !d.Dominates(branch, id) {
+		t.Errorf("idom(join) = %v", id)
+	}
+}
+
+func TestPostDominatorsDiamond(t *testing.T) {
+	p := compile(t, diamond)
+	f := p.FuncByName["main"]
+	pd := PostDominators(f)
+	var branch, join *ir.Block
+	for _, b := range f.Blocks {
+		if tm := b.Terminator(); tm != nil && tm.Op == ir.OpBr {
+			branch = b
+		}
+		if len(b.Preds) == 2 {
+			join = b
+		}
+	}
+	if !pd.PostDominates(join, branch) {
+		t.Error("join must postdominate the branch")
+	}
+	if got := pd.IPDom(branch); got != join {
+		t.Errorf("ipdom(branch) = %v, want join bb%d", got, join.ID)
+	}
+	// The block ending in ret has no ipdom (virtual exit).
+	for _, b := range f.Blocks {
+		if tm := b.Terminator(); tm != nil && tm.Op == ir.OpRet {
+			if pd.IPDom(b) != nil {
+				t.Errorf("ret block bb%d should have nil ipdom", b.ID)
+			}
+		}
+	}
+}
+
+func TestInstrSDomSameBlock(t *testing.T) {
+	p := compile(t, "int main() { int a = 1; int b = 2; return a + b; }")
+	f := p.FuncByName["main"]
+	d := Dominators(f)
+	blk := f.Entry()
+	if len(blk.Instrs) < 3 {
+		t.Fatal("expected several instructions in entry")
+	}
+	a, b := blk.Instrs[0], blk.Instrs[2]
+	if !d.InstrSDom(a, b) {
+		t.Error("earlier instruction should strictly dominate later one in same block")
+	}
+	if d.InstrSDom(b, a) {
+		t.Error("later instruction must not dominate earlier one")
+	}
+	if d.InstrSDom(a, a) {
+		t.Error("sdom is irreflexive")
+	}
+}
+
+func TestDominatorsLoop(t *testing.T) {
+	p := compile(t, `
+int main() {
+	int s = 0;
+	for (int i = 0; i < 10; i++) { s = s + i; }
+	return s;
+}`)
+	f := p.FuncByName["main"]
+	d := Dominators(f)
+	pd := PostDominators(f)
+	// The loop condition block dominates the body and the exit.
+	var cond *ir.Block
+	for _, b := range f.Blocks {
+		if len(b.Preds) >= 2 {
+			cond = b // condition: entered from init and from post
+		}
+	}
+	if cond == nil {
+		t.Fatal("no loop condition block found")
+	}
+	for _, s := range cond.Succs() {
+		if !d.Dominates(cond, s) {
+			t.Errorf("loop condition should dominate successor bb%d", s.ID)
+		}
+	}
+	// The exit block postdominates the condition.
+	tm := cond.Terminator()
+	if tm.Op == ir.OpBr {
+		exit := tm.Else
+		if !pd.PostDominates(exit, cond) {
+			t.Error("loop exit should postdominate the condition")
+		}
+	}
+}
+
+// randomCFG builds a random function shape directly in IR to
+// property-test dominance: entry is block 0; every block gets a
+// terminator leading to random later-or-earlier blocks.
+func randomCFG(rng *rand.Rand, nBlocks int) *ir.Func {
+	f := &ir.Func{Name: "rand"}
+	for i := 0; i < nBlocks; i++ {
+		f.NewBlock()
+	}
+	for i, b := range f.Blocks {
+		switch rng.Intn(3) {
+		case 0: // ret
+			b.Instrs = append(b.Instrs, &ir.Instr{Op: ir.OpRet, Dst: -1, A: ir.ConstInt(0)})
+		case 1: // jmp
+			t := f.Blocks[rng.Intn(nBlocks)]
+			b.Instrs = append(b.Instrs, &ir.Instr{Op: ir.OpJmp, Dst: -1, Then: t})
+		default: // br
+			t1 := f.Blocks[rng.Intn(nBlocks)]
+			t2 := f.Blocks[rng.Intn(nBlocks)]
+			b.Instrs = append(b.Instrs, &ir.Instr{Op: ir.OpBr, Dst: -1, A: ir.Reg(0), Then: t1, Else: t2})
+		}
+		_ = i
+	}
+	// Fill preds like Program.Finalize does.
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			s.Preds = append(s.Preds, b)
+		}
+	}
+	return f
+}
+
+// reachable computes reachability from entry.
+func reachable(f *ir.Func) map[*ir.Block]bool {
+	seen := make(map[*ir.Block]bool)
+	var visit func(b *ir.Block)
+	visit = func(b *ir.Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs() {
+			visit(s)
+		}
+	}
+	visit(f.Entry())
+	return seen
+}
+
+// dominatesBrute checks "a dom b" by exhaustive path enumeration: b is
+// reachable from entry, and unreachable when a is removed.
+func dominatesBrute(f *ir.Func, a, b *ir.Block) bool {
+	seen := make(map[*ir.Block]bool)
+	var visit func(x *ir.Block) bool
+	visit = func(x *ir.Block) bool {
+		if x == b {
+			return true
+		}
+		if x == a || seen[x] {
+			return false
+		}
+		seen[x] = true
+		for _, s := range x.Succs() {
+			if visit(s) {
+				return true
+			}
+		}
+		return false
+	}
+	if a == b {
+		return true
+	}
+	return !visit(f.Entry())
+}
+
+// Property: on random CFGs, the iterative dominator tree agrees with
+// brute-force path-based dominance for all reachable block pairs.
+func TestDominatorsMatchBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fn := randomCFG(rng, 2+rng.Intn(7))
+		reach := reachable(fn)
+		d := Dominators(fn)
+		for _, a := range fn.Blocks {
+			for _, b := range fn.Blocks {
+				if !reach[a] || !reach[b] {
+					continue
+				}
+				want := dominatesBrute(fn, a, b)
+				got := d.Dominates(a, b)
+				if got != want {
+					t.Logf("seed %d: dom(bb%d, bb%d) = %v, want %v", seed, a.ID, b.ID, got, want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ipdom is a strict postdominator of its block on random CFGs.
+func TestIPDomIsPostDominator(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fn := randomCFG(rng, 2+rng.Intn(7))
+		reach := reachable(fn)
+		pd := PostDominators(fn)
+		for _, b := range fn.Blocks {
+			if !reach[b] {
+				continue
+			}
+			ip := pd.IPDom(b)
+			if ip == nil {
+				continue
+			}
+			if ip == b {
+				return false
+			}
+			if !pd.PostDominates(ip, b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

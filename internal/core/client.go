@@ -1,0 +1,242 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/cost"
+	"repro/internal/hw/pt"
+	"repro/internal/hw/watch"
+	"repro/internal/ir"
+	"repro/internal/vm"
+)
+
+// RunSpec identifies one production run at one endpoint.
+type RunSpec struct {
+	EndpointID  int
+	Seed        int64
+	Workload    vm.Workload
+	PreemptMean int
+	MaxSteps    int64
+}
+
+// RunTrace is what an endpoint ships back to the Gist server for one run:
+// the run outcome, the decoded control flow of the tracked regions, the
+// watchpoint trap log (values + total order of shared accesses), and the
+// overhead meter.
+type RunTrace struct {
+	Spec    RunSpec
+	Outcome *vm.Outcome
+
+	// Flow holds, per thread (= per PT core), the decoded instruction
+	// sequences of the traced regions, concatenated in per-core order.
+	Flow map[int][]int
+	// Branches holds, per thread, the conditional-branch outcomes the
+	// decoder recovered from TNT bits.
+	Branches map[int][]pt.BranchObs
+	// Executed is the set of instructions observed by control-flow
+	// tracking (union of Flow).
+	Executed map[int]bool
+	// Traps is the watchpoint access log in global clock order.
+	Traps []watch.Trap
+	// WatchMisses counts shared accesses in the watch group that could
+	// not be watched because all debug registers were armed (triggers
+	// cooperative partitioning pressure).
+	WatchMisses int
+
+	Meter cost.Meter
+	// DecodeErr reports a PT decode problem (trace corruption); the run
+	// still contributes its outcome.
+	DecodeErr error
+}
+
+// Failed reports whether the traced run failed.
+func (rt *RunTrace) Failed() bool { return rt.Outcome.Failed }
+
+// RunInstrumented executes one production run under the plan's
+// instrumentation and collects the traces — the Gist client (Fig. 2,
+// steps 2 and 4).
+func RunInstrumented(plan *Plan, spec RunSpec) *RunTrace {
+	rt := &RunTrace{
+		Spec:     spec,
+		Flow:     make(map[int][]int),
+		Branches: make(map[int][]pt.BranchObs),
+		Executed: make(map[int]bool),
+	}
+	tracer := pt.NewTracer(pt.Config{}, &rt.Meter)
+	unit := watch.NewUnit(&rt.Meter)
+	group := plan.WatchGroupFor(spec.EndpointID)
+
+	// pendingStop[tid] holds the instruction after which tracing must be
+	// disabled; the disable is performed when the thread takes its next
+	// step so that the instruction's own packets are recorded first.
+	pendingStop := make(map[int]int)
+	lastTraced := make(map[int]int)
+
+	// In the §6 extended-PT mode, tracing is simply always on: the whole
+	// point of the extension is that trace cost is low enough to keep PT
+	// running, with data packets making watchpoints unnecessary.
+	alwaysOn := plan.Feats.ExtendedPT && plan.Feats.ControlFlow
+	hooks := vm.Hooks{
+		OnStep: func(t *vm.Thread, in *ir.Instr, clock int64) {
+			rt.Meter.AddInstr(1)
+			if !plan.Feats.ControlFlow {
+				return
+			}
+			if alwaysOn {
+				if !tracer.Enabled(t.ID) {
+					tracer.Enable(t.ID, in.ID)
+				}
+				tracer.InstrRetired(t.ID)
+				lastTraced[t.ID] = in.ID
+				return
+			}
+			if stopIP, ok := pendingStop[t.ID]; ok {
+				tracer.Disable(t.ID, stopIP)
+				delete(pendingStop, t.ID)
+			}
+			if plan.StartAt[in.ID] && !tracer.Enabled(t.ID) {
+				tracer.Enable(t.ID, in.ID)
+			}
+			if tracer.Enabled(t.ID) {
+				tracer.InstrRetired(t.ID)
+				lastTraced[t.ID] = in.ID
+				if plan.StopAfter[in.ID] {
+					pendingStop[t.ID] = in.ID
+				}
+			}
+		},
+		OnBranch: func(t *vm.Thread, in *ir.Instr, taken bool, clock int64) {
+			if plan.Feats.ControlFlow {
+				tracer.Branch(t.ID, in.ID, taken)
+			}
+		},
+		OnIndirect: func(t *vm.Thread, in *ir.Instr, target *ir.Instr, clock int64) {
+			if plan.Feats.ControlFlow && (in.Op == ir.OpCall || in.Op == ir.OpRet) {
+				tracer.TIP(t.ID, in.ID, target.ID)
+			}
+		},
+	}
+	if plan.Feats.DataFlow && plan.Feats.ExtendedPT && plan.Feats.ControlFlow {
+		// Extended-PT data flow (§6): every shared access inside a traced
+		// region becomes a PTW packet; no debug registers, no groups.
+		data := func(t *vm.Thread, in *ir.Instr, addr, val, size int64, clock int64, isWrite bool) {
+			if !vm.IsStackAddr(addr) {
+				tracer.Data(t.ID, in.ID, addr, val, size, isWrite, clock)
+			}
+		}
+		hooks.OnLoad = func(t *vm.Thread, in *ir.Instr, addr, val, size int64, clock int64) {
+			data(t, in, addr, val, size, clock, false)
+		}
+		hooks.OnStore = func(t *vm.Thread, in *ir.Instr, addr, val, size int64, clock int64) {
+			data(t, in, addr, val, size, clock, true)
+		}
+	} else if plan.Feats.DataFlow {
+		armedClass := make(map[string]bool)
+		access := func(t *vm.Thread, in *ir.Instr, addr, val, size int64, clock int64, isWrite bool) {
+			// Arm a watchpoint the first time a tracked access touches its
+			// location class (conceptually inserted right before the
+			// access, so the triggering access itself traps too). One
+			// debug register per class: the watchpoint watches "the
+			// variable", so an array walk does not drain the register
+			// file.
+			if group[in.ID] && !vm.IsStackAddr(addr) && !unit.Watched(addr, size) {
+				cls := plan.Classes[in.ID]
+				if !armedClass[cls] {
+					if _, err := unit.SetAny(watch.Watchpoint{Addr: addr, Size: size, Kind: watch.KindReadWrite}); err != nil {
+						rt.WatchMisses++
+					} else {
+						armedClass[cls] = true
+					}
+				}
+			}
+			unit.CheckAccess(t.ID, in.ID, addr, size, val, isWrite, clock)
+		}
+		hooks.OnLoad = func(t *vm.Thread, in *ir.Instr, addr, val, size int64, clock int64) {
+			access(t, in, addr, val, size, clock, false)
+		}
+		hooks.OnStore = func(t *vm.Thread, in *ir.Instr, addr, val, size int64, clock int64) {
+			access(t, in, addr, val, size, clock, true)
+		}
+	}
+
+	rt.Outcome = vm.Run(plan.Prog, vm.Config{
+		Seed:        spec.Seed,
+		MaxSteps:    spec.MaxSteps,
+		PreemptMean: spec.PreemptMean,
+		Workload:    spec.Workload,
+		Hooks:       hooks,
+	})
+
+	if plan.Feats.ControlFlow {
+		for _, core := range tracer.Cores() {
+			if tracer.Enabled(core) {
+				tracer.Disable(core, lastTraced[core])
+			}
+			buf, wrapped := tracer.CoreBytes(core)
+			segs, branches, data, err := pt.DecodeFull(plan.Prog, buf, wrapped)
+			if err != nil {
+				rt.DecodeErr = err
+				continue
+			}
+			rt.Branches[core] = branches
+			for _, seg := range segs {
+				rt.Flow[core] = append(rt.Flow[core], seg.Instrs...)
+				for _, id := range seg.Instrs {
+					rt.Executed[id] = true
+				}
+			}
+			// Extended-PT data packets become the access log, exactly as
+			// watchpoint traps would (the TSC is the total order).
+			for _, d := range data {
+				rt.Traps = append(rt.Traps, watch.Trap{
+					Addr: d.Addr, Val: d.Val, Size: d.Size,
+					IsWrite: d.IsWrite, InstrID: d.IP, Thread: core, Clock: d.TSC,
+				})
+			}
+		}
+		sort.Slice(rt.Traps, func(i, j int) bool { return rt.Traps[i].Clock < rt.Traps[j].Clock })
+	}
+	if plan.Feats.DataFlow && !plan.Feats.ExtendedPT {
+		rt.Traps = unit.Traps()
+	}
+	return rt
+}
+
+// FilterTraps keeps only traps on addresses that some relevant
+// instruction (per isRelevant) accessed in this run. The watchpoint unit
+// gives this behavior in hardware (only slice-armed addresses trap); the
+// extended-PT mode logs every shared access in traced regions, so the
+// server applies the same address-relevance filter in software.
+func (rt *RunTrace) FilterTraps(isRelevant func(instrID int) bool) {
+	relevant := make(map[int64]bool)
+	for _, tr := range rt.Traps {
+		if isRelevant(tr.InstrID) {
+			relevant[tr.Addr] = true
+		}
+	}
+	var kept []watch.Trap
+	for _, tr := range rt.Traps {
+		if relevant[tr.Addr] {
+			kept = append(kept, tr)
+		}
+	}
+	rt.Traps = kept
+}
+
+// BranchOutcomes returns each traced conditional branch's observed
+// outcomes (a branch can take both arms in one run), straight from the
+// decoder's TNT consumption.
+func (rt *RunTrace) BranchOutcomes(prog *ir.Program) map[int]map[bool]bool {
+	out := make(map[int]map[bool]bool)
+	for _, obs := range rt.Branches {
+		for _, o := range obs {
+			m := out[o.IP]
+			if m == nil {
+				m = make(map[bool]bool)
+				out[o.IP] = m
+			}
+			m[o.Taken] = true
+		}
+	}
+	return out
+}

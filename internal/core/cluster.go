@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ir"
+	"repro/internal/vm"
+)
+
+// FailureCluster groups production failures that share a failure identity
+// (failing program counter + stack trace + fault kind) — the grouping a
+// Windows-Error-Reporting-style collector performs before a diagnosis is
+// launched per cluster (§7's WER discussion). One Gist diagnosis is run
+// per cluster, not per crash.
+type FailureCluster struct {
+	ID     string
+	Report *vm.FailureReport
+	// Count is how many observed failures matched this cluster.
+	Count int
+	// Seeds are the run seeds that produced the failures (capped).
+	Seeds []int64
+}
+
+// ClusterConfig configures a fleet sweep for failure clustering.
+type ClusterConfig struct {
+	Prog        *ir.Program
+	Runs        int
+	SeedBase    int64
+	PreemptMean int
+	MaxSteps    int64
+	// WorkloadPool as in Config.
+	WorkloadPool []vm.Workload
+	// MaxSeedsPerCluster bounds the recorded seed list (0 = 16).
+	MaxSeedsPerCluster int
+}
+
+// ClusterFailures runs the fleet uninstrumented and groups every observed
+// failure by identity. Clusters are returned most-frequent first.
+func ClusterFailures(cfg ClusterConfig) []*FailureCluster {
+	if cfg.Runs == 0 {
+		cfg.Runs = 200
+	}
+	if cfg.PreemptMean == 0 {
+		cfg.PreemptMean = 3
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 300_000
+	}
+	if cfg.MaxSeedsPerCluster == 0 {
+		cfg.MaxSeedsPerCluster = 16
+	}
+	byID := make(map[string]*FailureCluster)
+	for i := 0; i < cfg.Runs; i++ {
+		seed := cfg.SeedBase + int64(i)
+		wl := vm.Workload{}
+		if len(cfg.WorkloadPool) > 0 {
+			wl = cfg.WorkloadPool[i%len(cfg.WorkloadPool)]
+		}
+		out := vm.Run(cfg.Prog, vm.Config{
+			Seed: seed, PreemptMean: cfg.PreemptMean, MaxSteps: cfg.MaxSteps, Workload: wl,
+		})
+		if !out.Failed {
+			continue
+		}
+		id := out.Report.ID()
+		c := byID[id]
+		if c == nil {
+			c = &FailureCluster{ID: id, Report: out.Report}
+			byID[id] = c
+		}
+		c.Count++
+		if len(c.Seeds) < cfg.MaxSeedsPerCluster {
+			c.Seeds = append(c.Seeds, seed)
+		}
+	}
+	clusters := make([]*FailureCluster, 0, len(byID))
+	for _, c := range byID {
+		clusters = append(clusters, c)
+	}
+	sort.Slice(clusters, func(i, j int) bool {
+		if clusters[i].Count != clusters[j].Count {
+			return clusters[i].Count > clusters[j].Count
+		}
+		return clusters[i].ID < clusters[j].ID
+	})
+	return clusters
+}
+
+// RenderClusters summarizes clusters for an operator.
+func RenderClusters(prog *ir.Program, clusters []*FailureCluster) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d failure cluster(s):\n", len(clusters))
+	for i, c := range clusters {
+		fmt.Fprintf(&b, "%2d. %4d crash(es)  %-38s at %s", i+1, c.Count, c.Report.Kind, c.Report.Pos)
+		if txt := prog.SourceLine(c.Report.Pos.Line); txt != "" {
+			fmt.Fprintf(&b, "  `%s`", txt)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/vm"
+)
+
+// twoBugs has two independent failure modes: a workload-dependent
+// division by zero and a schedule-dependent use-after-free.
+const twoBugs = `global int* shared;
+global int out = 0;
+int work(int n) {
+	int acc = 0;
+	for (int i = 0; i < n; i++) { acc = acc + i % 3; }
+	return acc;
+}
+void reader(int arg) {
+	int w = work(50);
+	out = shared[0];
+}
+int main() {
+	int d = input(0);
+	out = 100 / d;
+	shared = malloc(32);
+	shared[0] = 4;
+	int t = spawn(reader, 0);
+	int w = work(48);
+	free(shared);
+	join(t);
+	return out;
+}`
+
+func TestClusterSeparatesDistinctBugs(t *testing.T) {
+	prog := ir.MustCompile("two.mc", twoBugs)
+	clusters := ClusterFailures(ClusterConfig{
+		Prog: prog, Runs: 240, SeedBase: 1,
+		WorkloadPool: []vm.Workload{
+			{Ints: []int64{2}},
+			{Ints: []int64{0}}, // division by zero
+			{Ints: []int64{5}},
+		},
+	})
+	if len(clusters) != 2 {
+		for _, c := range clusters {
+			t.Logf("cluster %s: %d × %v at %s", c.ID, c.Count, c.Report.Kind, c.Report.Pos)
+		}
+		t.Fatalf("expected exactly 2 clusters, got %d", len(clusters))
+	}
+	kinds := map[vm.FaultKind]bool{}
+	for _, c := range clusters {
+		kinds[c.Report.Kind] = true
+		if c.Count < 1 || len(c.Seeds) == 0 {
+			t.Errorf("cluster %s underpopulated: %+v", c.ID, c)
+		}
+	}
+	if !kinds[vm.FaultDivZero] || !kinds[vm.FaultUseAfterFree] {
+		t.Errorf("cluster kinds: %v", kinds)
+	}
+	// Most-frequent first.
+	if clusters[0].Count < clusters[1].Count {
+		t.Error("clusters not sorted by frequency")
+	}
+	out := RenderClusters(prog, clusters)
+	if !strings.Contains(out, "2 failure cluster(s)") {
+		t.Errorf("render: %s", out)
+	}
+}
+
+func TestClusterThenDiagnose(t *testing.T) {
+	// The WER workflow: cluster first, then run one Gist diagnosis per
+	// cluster using a seed from that cluster as the failure report source.
+	prog := ir.MustCompile("two.mc", twoBugs)
+	pool := []vm.Workload{{Ints: []int64{2}}, {Ints: []int64{0}}, {Ints: []int64{5}}}
+	clusters := ClusterFailures(ClusterConfig{Prog: prog, Runs: 240, SeedBase: 1, WorkloadPool: pool})
+	if len(clusters) != 2 {
+		t.Fatalf("clusters: %d", len(clusters))
+	}
+	for _, c := range clusters {
+		res, err := RunFromReport(Config{
+			Prog: prog, Title: "cluster " + c.ID, WorkloadPool: pool,
+			Endpoints: 20, SeedBase: 1,
+		}, c.Report, 1)
+		if err != nil {
+			t.Fatalf("cluster %s: %v", c.ID, err)
+		}
+		if res.Sketch.Report.Kind != c.Report.Kind {
+			t.Errorf("cluster %s diagnosed as %v", c.ID, res.Sketch.Report.Kind)
+		}
+		if !res.Sketch.Steps[len(res.Sketch.Steps)-1].IsFailure {
+			t.Errorf("cluster %s sketch malformed", c.ID)
+		}
+	}
+}
+
+func TestClusterNoFailures(t *testing.T) {
+	prog := ir.MustCompile("ok.mc", `int main() { return 0; }`)
+	clusters := ClusterFailures(ClusterConfig{Prog: prog, Runs: 20, SeedBase: 1})
+	if len(clusters) != 0 {
+		t.Errorf("healthy program produced clusters: %v", clusters)
+	}
+}

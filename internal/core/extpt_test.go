@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/vm"
+)
+
+// extFeatures is the §6 hardware-extension configuration: data flow via
+// PT data packets instead of debug registers.
+func extFeatures() Features {
+	return Features{Static: true, ControlFlow: true, DataFlow: true, ExtendedPT: true}
+}
+
+func TestExtendedPTEndToEnd(t *testing.T) {
+	cfg := pbzipConfig(t)
+	cfg.Features = extFeatures()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("gist with extended PT: %v", err)
+	}
+	sk := res.Sketch
+	// The same root cause must emerge: a WR order predictor on f->mut
+	// with perfect precision and the value 0 at the failing unlock.
+	var order, value *Ranked
+	for i := range sk.Predictors {
+		switch sk.Predictors[i].Kind {
+		case PredOrder:
+			if order == nil {
+				order = &sk.Predictors[i]
+			}
+		case PredValue:
+			if value == nil {
+				value = &sk.Predictors[i]
+			}
+		}
+	}
+	if order == nil || order.P < 0.9 {
+		t.Errorf("extended PT lost the order predictor: %+v", order)
+	}
+	if value == nil || value.Value != 0 {
+		t.Errorf("extended PT lost the value predictor: %+v", value)
+	}
+	if len(sk.AddedByRefinement) == 0 {
+		t.Error("refinement should still discover the pointer stores from data packets")
+	}
+}
+
+func TestExtendedPTHasNoWatchMisses(t *testing.T) {
+	// A program with more shared location classes than debug registers:
+	// watchpoints must partition (and can miss); extended PT sees all.
+	src := `global int a; global int b; global int c; global int d; global int e2; global int f;
+int work(int n) {
+	int acc = 0;
+	for (int i = 0; i < n; i++) { acc = acc + i % 5; }
+	return acc;
+}
+int main() {
+	int warm = work(3000);
+	a = input(0); b = a + 1; c = b + 1; d = c + 1; e2 = d + 1; f = e2 + 1;
+	int z = 1;
+	if (f == 12) { z = 0; }
+	return 10 / z;
+}`
+	prog := ir.MustCompile("many.mc", src)
+	cfg := Config{
+		Prog: prog, Title: "many-locations", Endpoints: 12, SeedBase: 1,
+		WorkloadPool: workloads(7, 1, 2, 3),
+	}
+	cfg.Features = extFeatures()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("gist: %v", err)
+	}
+	// With extended PT every shared access in traced regions is logged:
+	// the value chain a..f is all visible, so the best value predictor
+	// pins one of the chain values with high precision.
+	var val *Ranked
+	for i := range res.Sketch.Predictors {
+		if res.Sketch.Predictors[i].Kind == PredValue {
+			val = &res.Sketch.Predictors[i]
+		}
+	}
+	if val == nil || val.P < 0.9 {
+		t.Errorf("value predictor under extended PT: %+v", val)
+	}
+}
+
+// workloads builds single-int workload pools.
+func workloads(vals ...int64) []vm.Workload {
+	var out []vm.Workload
+	for _, v := range vals {
+		out = append(out, vm.Workload{Ints: []int64{v}})
+	}
+	return out
+}
+
+func TestExtendedPTOverheadComparable(t *testing.T) {
+	// The extension should not be more expensive than watchpoints on the
+	// pbzip2 workload (packet writes are far cheaper than ptrace traps,
+	// though more events are logged).
+	base := pbzipConfig(t)
+	resWP, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext := pbzipConfig(t)
+	ext.Features = extFeatures()
+	resExt, err := Run(ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resExt.AvgOverheadPct > 4*resWP.AvgOverheadPct+2 {
+		t.Errorf("extended PT overhead %.2f%% should be comparable to watchpoints %.2f%%",
+			resExt.AvgOverheadPct, resWP.AvgOverheadPct)
+	}
+}

@@ -1,0 +1,342 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cfg"
+	"repro/internal/ir"
+	"repro/internal/slicer"
+	"repro/internal/stats"
+	"repro/internal/vm"
+)
+
+// Config configures one end-to-end Gist diagnosis (Fig. 2).
+type Config struct {
+	Prog  *ir.Program
+	Title string
+
+	// Sigma0 is the initial tracked-slice size in statements (§3.2.1;
+	// the paper uses 2). Each AsT iteration doubles it.
+	Sigma0 int
+	// SigmaGrowthAdd, when positive, switches AsT to additive window
+	// growth (sigma += SigmaGrowthAdd) instead of the paper's
+	// multiplicative doubling — the growth-strategy ablation.
+	SigmaGrowthAdd int
+	// MaxSigma caps the tracked window; 0 means the whole slice.
+	MaxSigma int
+	// Features gates static/control-flow/data-flow tracking (Fig. 10).
+	Features Features
+
+	// Endpoints is the number of production runs per AsT iteration (the
+	// cooperative fleet slice assigned to this failure).
+	Endpoints int
+	// MaxBatches bounds how many endpoint batches one iteration may
+	// consume while waiting for the failure to recur.
+	MaxBatches int
+	// FailuresPerIter is how many failing runs each AsT iteration
+	// consumes before re-planning (the paper's per-iteration failure
+	// recurrences; Table 1 counts their total).
+	FailuresPerIter int
+	// MinSuccesses is how many successful runs each iteration gathers for
+	// the statistical comparison before it stops early.
+	MinSuccesses int
+	// MaxIters bounds AsT iterations.
+	MaxIters int
+
+	// WorkloadPool is the set of inputs endpoints run; endpoint k uses
+	// pool[k mod len]. An empty pool means empty workloads.
+	WorkloadPool []vm.Workload
+
+	PreemptMean int
+	MaxSteps    int64
+	SeedBase    int64
+	// Beta is the F-measure beta; the paper uses 0.5.
+	Beta float64
+
+	// StopWhen is the developer oracle: given the iteration's sketch,
+	// decide whether it contains the root cause and AsT can stop. If nil,
+	// AsT runs until the window covers the whole slice.
+	StopWhen func(*Sketch) bool
+
+	// MaxDiscoveryRuns bounds the search for the first failure.
+	MaxDiscoveryRuns int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Sigma0 == 0 {
+		c.Sigma0 = 2
+	}
+	if c.Endpoints == 0 {
+		c.Endpoints = 40
+	}
+	if c.MaxBatches == 0 {
+		c.MaxBatches = 8
+	}
+	if c.FailuresPerIter == 0 {
+		c.FailuresPerIter = 2
+	}
+	if c.MinSuccesses == 0 {
+		c.MinSuccesses = 6
+	}
+	if c.MaxIters == 0 {
+		c.MaxIters = 12
+	}
+	if c.PreemptMean == 0 {
+		c.PreemptMean = 3
+	}
+	if c.MaxSteps == 0 {
+		c.MaxSteps = 200_000
+	}
+	if c.Beta == 0 {
+		c.Beta = 0.5
+	}
+	if c.MaxDiscoveryRuns == 0 {
+		c.MaxDiscoveryRuns = 4000
+	}
+	if !c.Features.Static && !c.Features.ControlFlow && !c.Features.DataFlow {
+		c.Features = AllFeatures()
+	}
+	return c
+}
+
+// IterStats records one AsT iteration for the evaluation harness.
+type IterStats struct {
+	Sigma         int
+	TrackedLines  int
+	TrackedInstrs int
+	Failing       int
+	Successful    int
+	// OverheadPct is the mean client overhead across this iteration's
+	// instrumented runs.
+	OverheadPct float64
+	// AddedInstrs are statements discovered by data-flow refinement this
+	// iteration.
+	AddedInstrs []int
+}
+
+// Result is the outcome of a Gist diagnosis.
+type Result struct {
+	Sketch *Sketch
+	Slice  *slicer.Slice
+	Report *vm.FailureReport
+	Iters  []IterStats
+
+	// FailureRecurrences counts the failing production runs consumed
+	// after the initial failure (Table 1's "# failure recurrences").
+	FailureRecurrences int
+	TotalRuns          int
+	// AvgOverheadPct is the mean client overhead across all instrumented
+	// runs of the diagnosis.
+	AvgOverheadPct float64
+	// DiscoveryRuns is how many runs were needed to see the first failure.
+	DiscoveryRuns int
+}
+
+// workloadFor picks the workload for an endpoint.
+func (c Config) workloadFor(k int) vm.Workload {
+	if len(c.WorkloadPool) == 0 {
+		return vm.Workload{}
+	}
+	return c.WorkloadPool[k%len(c.WorkloadPool)]
+}
+
+// FirstFailure runs uninstrumented executions until the target program
+// fails, returning the failure report (the crash dump a production
+// deployment would ship) and how many runs it took.
+func FirstFailure(cfg Config) (*vm.FailureReport, int, error) {
+	cfg = cfg.withDefaults()
+	for i := 0; i < cfg.MaxDiscoveryRuns; i++ {
+		out := vm.Run(cfg.Prog, vm.Config{
+			Seed:        cfg.SeedBase + int64(i),
+			PreemptMean: cfg.PreemptMean,
+			MaxSteps:    cfg.MaxSteps,
+			Workload:    cfg.workloadFor(i),
+		})
+		if out.Failed {
+			return out.Report, i + 1, nil
+		}
+	}
+	return nil, cfg.MaxDiscoveryRuns, fmt.Errorf("gist: no failure in %d discovery runs", cfg.MaxDiscoveryRuns)
+}
+
+// Run performs the full Gist pipeline: slice statically, then adaptively
+// track increasingly larger slice portions across the endpoint fleet,
+// refining the slice and re-ranking failure predictors after each
+// iteration, until the developer oracle is satisfied or the window covers
+// the whole slice.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	report, discRuns, err := FirstFailure(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return RunFromReport(cfg, report, discRuns)
+}
+
+// RunFromReport performs the pipeline for a known failure report.
+func RunFromReport(cfg Config, report *vm.FailureReport, discRuns int) (*Result, error) {
+	cfg = cfg.withDefaults()
+	g := cfg.BuildGraph()
+	sl := slicer.Compute(g, report.InstrID)
+	// Deadlock reports carry the other blocked threads' PCs (a crash dump
+	// has every thread's stack): slice from each cycle participant and
+	// merge, so the sketch shows the whole inversion.
+	for _, pc := range report.OtherPCs {
+		for _, id := range slicer.Compute(g, pc).Discovery {
+			sl.Add(id)
+		}
+	}
+
+	res := &Result{Slice: sl, Report: report, DiscoveryRuns: discRuns}
+	var overheads []float64
+	var added []int
+	addedSet := make(map[int]bool)
+
+	sigma := cfg.Sigma0
+	maxSigma := cfg.MaxSigma
+	seed := cfg.SeedBase + int64(cfg.MaxDiscoveryRuns) // past discovery seeds
+
+	for iter := 0; iter < cfg.MaxIters; iter++ {
+		limit := sl.LineCount()
+		if maxSigma > 0 && maxSigma < limit {
+			limit = maxSigma
+		}
+		effSigma := sigma
+		if effSigma > limit {
+			effSigma = limit
+		}
+		window := sl.Window(effSigma)
+		for _, id := range added {
+			if !containsInt(window, id) {
+				window = append(window, id)
+			}
+		}
+		plan := BuildPlan(g, window, cfg.Features)
+		windowSet := make(map[int]bool, len(window))
+		for _, id := range window {
+			windowSet[id] = true
+		}
+
+		var failing, successful []*RunTrace
+		iterStart := len(overheads)
+		budget := cfg.MaxBatches * cfg.Endpoints
+		for i := 0; i < budget; i++ {
+			if len(failing) >= cfg.FailuresPerIter && len(successful) >= cfg.MinSuccesses {
+				break
+			}
+			e := i % cfg.Endpoints
+			spec := RunSpec{
+				EndpointID:  e,
+				Seed:        seed,
+				Workload:    cfg.workloadFor(e),
+				PreemptMean: cfg.PreemptMean,
+				MaxSteps:    cfg.MaxSteps,
+			}
+			seed++
+			rt := RunInstrumented(plan, spec)
+			if cfg.Features.ExtendedPT {
+				// The extended-PT trace logs every shared access; keep
+				// only those on addresses the tracked slice touches, the
+				// same set hardware watchpoints would have trapped on.
+				rt.FilterTraps(func(id int) bool { return sl.Contains(id) || windowSet[id] })
+			}
+			res.TotalRuns++
+			overheads = append(overheads, rt.Meter.OverheadPct())
+			if rt.Failed() && rt.Outcome.Report.ID() == report.ID() {
+				if len(failing) < cfg.FailuresPerIter {
+					failing = append(failing, rt)
+				}
+			} else if !rt.Failed() {
+				successful = append(successful, rt)
+			}
+		}
+		if len(failing) == 0 {
+			// The failure did not recur under this window's fleet budget;
+			// grow the window and keep waiting, like a real deployment.
+			if cfg.SigmaGrowthAdd > 0 {
+				sigma += cfg.SigmaGrowthAdd
+			} else {
+				sigma *= 2
+			}
+			if effSigma >= limit {
+				return res, fmt.Errorf("gist: failure %s did not recur (iteration %d)", report.ID(), iter)
+			}
+			continue
+		}
+		res.FailureRecurrences += len(failing)
+
+		// Refinement (§3.2.3): statements discovered by the watchpoints
+		// that the alias-free static slice missed are added to the slice.
+		// Both failing and successful runs contribute: in failing
+		// schedules the racing store often happens before any tracked
+		// access arms a watchpoint, while successful schedules catch it.
+		var addedNow []int
+		refine := func(rt *RunTrace) {
+			for _, tr := range rt.Traps {
+				if !sl.Contains(tr.InstrID) && !addedSet[tr.InstrID] {
+					addedSet[tr.InstrID] = true
+					added = append(added, tr.InstrID)
+					addedNow = append(addedNow, tr.InstrID)
+					sl.Add(tr.InstrID)
+				}
+			}
+		}
+		for _, rt := range failing {
+			refine(rt)
+		}
+		for _, rt := range successful {
+			refine(rt)
+		}
+
+		ranked := RankPredictors(cfg.Prog, failing, successful, cfg.Beta)
+		// Base the sketch on the best-instrumented failing run: under
+		// cooperative watchpoint partitioning, different failing runs
+		// observed different location classes.
+		basis := failing[0]
+		for _, rt := range failing[1:] {
+			if len(rt.Traps) > len(basis.Traps) {
+				basis = rt
+			}
+		}
+		sketch := BuildSketch(cfg.Title, plan, basis, ranked, added)
+		res.Sketch = sketch
+		res.Iters = append(res.Iters, IterStats{
+			Sigma:         effSigma,
+			TrackedLines:  effSigma,
+			TrackedInstrs: len(window),
+			Failing:       len(failing),
+			Successful:    len(successful),
+			OverheadPct:   stats.Mean(overheads[iterStart:]),
+			AddedInstrs:   addedNow,
+		})
+
+		if cfg.StopWhen != nil && cfg.StopWhen(sketch) {
+			break
+		}
+		if len(addedNow) == 0 && effSigma >= limit {
+			break // window covers the slice and refinement converged
+		}
+		if cfg.SigmaGrowthAdd > 0 {
+			sigma += cfg.SigmaGrowthAdd
+		} else {
+			sigma *= 2
+		}
+	}
+	res.AvgOverheadPct = stats.Mean(overheads)
+	if res.Sketch == nil {
+		return res, fmt.Errorf("gist: no sketch produced")
+	}
+	return res, nil
+}
+
+// BuildGraph constructs (or returns) the TICFG for the configured program.
+func (c Config) BuildGraph() *cfg.TICFG { return cfg.BuildTICFG(c.Prog) }
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,87 @@
+package cost
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMeterZeroValue(t *testing.T) {
+	var m Meter
+	if m.BaseCycles() != 0 || m.ExtraCycles() != 0 || m.OverheadPct() != 0 {
+		t.Errorf("zero meter not zero: %+v", m)
+	}
+}
+
+func TestOverheadPct(t *testing.T) {
+	var m Meter
+	m.AddInstr(1000) // 1000 cycles base
+	m.AddExtra(100 * 1000)
+	if got := m.OverheadPct(); got != 10 {
+		t.Errorf("overhead: got %g, want 10", got)
+	}
+	if m.BaseCycles() != 1000 || m.ExtraCycles() != 100 {
+		t.Errorf("cycles: base=%g extra=%g", m.BaseCycles(), m.ExtraCycles())
+	}
+}
+
+func TestMeterAdd(t *testing.T) {
+	var a, b Meter
+	a.AddInstr(100)
+	a.AddExtra(5_000)
+	b.AddInstr(300)
+	b.AddExtra(15_000)
+	a.Add(&b)
+	if a.BaseCycles() != 400 {
+		t.Errorf("base after merge: %g", a.BaseCycles())
+	}
+	if a.ExtraCycles() != 20 {
+		t.Errorf("extra after merge: %g", a.ExtraCycles())
+	}
+}
+
+// Property: overhead percentage is linear in extra and inverse in base.
+func TestOverheadProperties(t *testing.T) {
+	f := func(base, extra uint16) bool {
+		if base == 0 {
+			return true
+		}
+		var m Meter
+		m.AddInstr(int64(base))
+		m.AddExtra(int64(extra))
+		want := 100 * float64(extra) / (float64(base) * 1000)
+		got := m.OverheadPct()
+		return got >= 0 && abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// The cost-model ordering invariants that the evaluation's shapes rest
+// on: hardware tracing is per-event cheap, ptrace-era operations are
+// expensive, software instrumentation sits in between per event but hits
+// every instruction.
+func TestCostModelOrdering(t *testing.T) {
+	if PTBranchMC >= PTTIPMC {
+		t.Error("a TNT bit must be cheaper than a TIP packet")
+	}
+	if PTTIPMC >= PTToggleMC {
+		t.Error("a packet must be cheaper than an MSR toggle")
+	}
+	if WatchTrapMC <= PTToggleMC {
+		t.Error("a debug trap (ptrace) must dominate a PT toggle")
+	}
+	if SWPTInstrMC <= InstrMC {
+		t.Error("software instrumentation must tax every instruction")
+	}
+	if RRSerializeMC <= InstrMC {
+		t.Error("serialization must be a multiple of the base instruction cost")
+	}
+}

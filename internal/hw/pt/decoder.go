@@ -1,0 +1,262 @@
+package pt
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Segment is one contiguous traced region of a core's execution: the
+// program-wide instruction IDs in execution order between a PGE and the
+// matching PGD (or the end of the buffer).
+type Segment struct {
+	Instrs []int
+}
+
+// BranchObs is one conditional-branch outcome recovered from a TNT bit.
+type BranchObs struct {
+	IP    int
+	Taken bool
+}
+
+// DataObs is one extended-PT data access (PTW packet): which instruction
+// accessed which address with what value, stamped with the TSC.
+type DataObs struct {
+	IP      int
+	Addr    int64
+	Val     int64
+	Size    int64
+	IsWrite bool
+	TSC     int64
+}
+
+// Decode reconstructs the executed instruction sequence of one core from
+// its raw packet buffer, against the program's CFG — the offline side of
+// control-flow tracking: packets only say "taken/not-taken/target", and
+// the decoder replays the CFG to recover which statements executed.
+//
+// wrapped indicates the ring buffer overflowed; decoding then starts at
+// the first PSB sync point and the lost prefix is silently dropped,
+// exactly like a real PT decoder.
+func Decode(prog *ir.Program, data []byte, wrapped bool) ([]Segment, error) {
+	segs, _, err := DecodeWithBranches(prog, data, wrapped)
+	return segs, err
+}
+
+// DecodeWithBranches is Decode plus the conditional-branch outcomes
+// recovered from the TNT bits, in consumption order. The outcomes are a
+// byproduct of CFG replay: they carry strictly more information than the
+// flow alone when a trace stops right at a branch (the successor is then
+// not part of the flow but the outcome is still known).
+func DecodeWithBranches(prog *ir.Program, data []byte, wrapped bool) ([]Segment, []BranchObs, error) {
+	evs, err := ParsePackets(data, !wrapped)
+	if err != nil {
+		return nil, nil, err
+	}
+	return DecodeEvents(prog, evs)
+}
+
+// DecodeEvents reconstructs segments from parsed packet events.
+func DecodeEvents(prog *ir.Program, evs []Event) ([]Segment, []BranchObs, error) {
+	segs, branches, _, err := DecodeEventsData(prog, evs)
+	return segs, branches, err
+}
+
+// DecodeEventsData is DecodeEvents plus the extended-PT data accesses.
+func DecodeEventsData(prog *ir.Program, evs []Event) ([]Segment, []BranchObs, []DataObs, error) {
+	d := &decoder{prog: prog, evs: evs}
+	segs, err := d.run()
+	return segs, d.branches, d.data, err
+}
+
+// DecodeFull decodes a raw buffer into segments, branch outcomes, and
+// extended-PT data accesses.
+func DecodeFull(prog *ir.Program, data []byte, wrapped bool) ([]Segment, []BranchObs, []DataObs, error) {
+	evs, err := ParsePackets(data, !wrapped)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return DecodeEventsData(prog, evs)
+}
+
+type decoder struct {
+	prog *ir.Program
+	evs  []Event
+	pos  int // next event index
+
+	bits []bool // TNT bits available for consumption
+	segs []Segment
+	cur  *ir.Instr // nil = tracing off / waiting for PGE
+	seg  []int
+
+	emitted  int // total instructions emitted, for the runaway guard
+	branches []BranchObs
+	data     []DataObs
+}
+
+// maxDecodedInstrs bounds decoder output: a traced unconditional-jump
+// loop produces no packets, so without a bound the CFG replay would spin
+// forever. Real decoders are bounded by trace-buffer contents; we bound
+// by emitted instructions.
+const maxDecodedInstrs = 50_000_000
+
+// next returns the next event, or nil.
+func (d *decoder) peek() *Event {
+	// Coalesce: TNT bits are pulled eagerly into d.bits by advanceEvents.
+	if d.pos >= len(d.evs) {
+		return nil
+	}
+	return &d.evs[d.pos]
+}
+
+func (d *decoder) run() ([]Segment, error) {
+	for {
+		// Pull events until we can walk.
+		ev := d.peek()
+		if ev == nil {
+			d.closeSegment()
+			return d.segs, nil
+		}
+		switch ev.Kind {
+		case EvPSB:
+			d.pos++
+		case EvPGD:
+			d.pos++
+			d.closeSegment()
+		case EvPGE:
+			d.pos++
+			in, err := d.instrAt(ev.IP)
+			if err != nil {
+				return d.segs, err
+			}
+			if d.cur == nil {
+				d.cur = in
+				if err := d.walk(); err != nil {
+					return d.segs, err
+				}
+			}
+			// If already walking (periodic re-anchor PGE), the anchor is
+			// redundant and skipped.
+		case EvTNT:
+			d.pos++
+			d.bits = append(d.bits, ev.Bits...)
+			if err := d.walk(); err != nil {
+				return d.segs, err
+			}
+		case EvPTW:
+			d.pos++
+			d.data = append(d.data, DataObs{
+				IP: ev.IP, Addr: ev.Addr, Val: ev.Val, Size: ev.Size,
+				IsWrite: ev.IsWrite, TSC: ev.TSC,
+			})
+		case EvFUP:
+			// Precise stop position: the walker may have over-run past
+			// the stop point along a straight line; truncate the segment
+			// just after the last occurrence of the FUP IP.
+			d.pos++
+			if d.cur != nil || len(d.seg) > 0 {
+				for i := len(d.seg) - 1; i >= 0; i-- {
+					if d.seg[i] == ev.IP {
+						d.seg = d.seg[:i+1]
+						break
+					}
+				}
+				d.cur = nil
+			}
+		case EvTIP:
+			// Consumed inside walk; if we see one here with no walker
+			// position, the prefix was lost (post-wrap): skip it.
+			if d.cur == nil {
+				d.pos++
+			} else {
+				before := d.pos
+				if err := d.walk(); err != nil {
+					return d.segs, err
+				}
+				if d.pos == before && d.cur != nil {
+					return d.segs, fmt.Errorf("pt: unexpected TIP at event %d (walker stalled at a branch)", d.pos)
+				}
+			}
+		}
+	}
+}
+
+func (d *decoder) instrAt(ip int) (*ir.Instr, error) {
+	if ip < 0 || ip >= len(d.prog.Instrs) {
+		return nil, fmt.Errorf("pt: PGE/TIP target %d out of range", ip)
+	}
+	return d.prog.Instrs[ip], nil
+}
+
+func (d *decoder) closeSegment() {
+	if len(d.seg) > 0 {
+		d.segs = append(d.segs, Segment{Instrs: d.seg})
+	}
+	d.seg = nil
+	d.cur = nil
+	d.bits = nil
+}
+
+// walk replays straight-line control flow from d.cur, consuming TNT bits
+// at conditional branches and TIP targets at calls/returns, until it runs
+// out of packet material.
+func (d *decoder) walk() error {
+	for d.cur != nil {
+		in := d.cur
+		d.seg = append(d.seg, in.ID)
+		d.emitted++
+		if d.emitted > maxDecodedInstrs {
+			return fmt.Errorf("pt: decoder runaway after %d instructions (untraceable unconditional loop?)", d.emitted)
+		}
+		switch in.Op {
+		case ir.OpBr:
+			if len(d.bits) == 0 {
+				// Need more TNT material; if the next event is a TNT we
+				// could continue, but run() will re-enter walk after
+				// pulling it. Rewind the emission of this instruction so
+				// it is not recorded twice.
+				d.seg = d.seg[:len(d.seg)-1]
+				if ev := d.peek(); ev != nil && ev.Kind == EvTNT {
+					d.bits = append(d.bits, ev.Bits...)
+					d.pos++
+					continue
+				}
+				return d.stall()
+			}
+			taken := d.bits[0]
+			d.bits = d.bits[1:]
+			d.branches = append(d.branches, BranchObs{IP: in.ID, Taken: taken})
+			if taken {
+				d.cur = in.Then.Instrs[0]
+			} else {
+				d.cur = in.Else.Instrs[0]
+			}
+		case ir.OpJmp:
+			d.cur = in.Then.Instrs[0]
+		case ir.OpCall, ir.OpRet:
+			ev := d.peek()
+			if ev == nil || ev.Kind != EvTIP {
+				// A ret that leaves the traced world (thread exit) or a
+				// region cut short: the segment ends here.
+				d.cur = nil
+				return nil
+			}
+			d.pos++
+			target, err := d.instrAt(ev.IP)
+			if err != nil {
+				return err
+			}
+			d.cur = target
+		default:
+			// Straight-line: next instruction in the block. Every block
+			// ends in a terminator, so Idx+1 is always in range for
+			// non-terminators.
+			d.cur = in.Blk.Instrs[in.Idx+1]
+		}
+	}
+	return nil
+}
+
+// stall pauses the walker mid-block waiting for more events; run() will
+// re-enter walk. The walker position is preserved in d.cur.
+func (d *decoder) stall() error { return nil }

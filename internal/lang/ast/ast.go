@@ -1,0 +1,279 @@
+// Package ast defines the abstract syntax tree for MiniC.
+//
+// The tree is deliberately small: just enough surface syntax (structs,
+// pointers, strings, loops, calls) to express the dependence and
+// interleaving structure of the bugs evaluated in the Gist paper. Every
+// node carries a source position; positions flow through IR generation so
+// failure sketches can be rendered in terms of source lines.
+package ast
+
+import "repro/internal/lang/token"
+
+// Node is the interface implemented by all AST nodes.
+type Node interface {
+	Pos() token.Position
+}
+
+// Expr is the interface implemented by all expression nodes.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Stmt is the interface implemented by all statement nodes.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// TypeExpr is the interface implemented by syntactic type expressions.
+type TypeExpr interface {
+	Node
+	typeNode()
+}
+
+// ---------------------------------------------------------------- types
+
+// NamedType is a builtin scalar type: "int", "string", or "void".
+type NamedType struct {
+	NamePos token.Position
+	Name    string
+}
+
+// StructRef is a reference to a declared struct type: "struct queue".
+type StructRef struct {
+	StructPos token.Position
+	Name      string
+}
+
+// PointerType is a pointer type: "T*".
+type PointerType struct {
+	Elem TypeExpr
+}
+
+func (t *NamedType) Pos() token.Position   { return t.NamePos }
+func (t *StructRef) Pos() token.Position   { return t.StructPos }
+func (t *PointerType) Pos() token.Position { return t.Elem.Pos() }
+
+func (*NamedType) typeNode()   {}
+func (*StructRef) typeNode()   {}
+func (*PointerType) typeNode() {}
+
+// ---------------------------------------------------------------- decls
+
+// File is a parsed MiniC source file (a whole program).
+type File struct {
+	Name    string
+	Structs []*StructDecl
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}
+
+// StructDecl declares a struct type.
+type StructDecl struct {
+	StructPos token.Position
+	Name      string
+	Fields    []*Field
+}
+
+func (d *StructDecl) Pos() token.Position { return d.StructPos }
+
+// Field is a struct field or a function parameter.
+type Field struct {
+	Type TypeExpr
+	Name string
+	NPos token.Position
+}
+
+func (f *Field) Pos() token.Position { return f.NPos }
+
+// GlobalDecl declares a global variable, optionally with a constant
+// initializer. Globals are the primary shared state between threads and are
+// therefore the variables Gist places hardware watchpoints on.
+type GlobalDecl struct {
+	GlobalPos token.Position
+	Type      TypeExpr
+	Name      string
+	Init      Expr // may be nil
+}
+
+func (d *GlobalDecl) Pos() token.Position { return d.GlobalPos }
+
+// FuncDecl declares a function with a body.
+type FuncDecl struct {
+	RetType TypeExpr
+	Name    string
+	NamePos token.Position
+	Params  []*Field
+	Body    *BlockStmt
+}
+
+func (d *FuncDecl) Pos() token.Position { return d.NamePos }
+
+// ---------------------------------------------------------------- stmts
+
+// BlockStmt is a brace-delimited statement list.
+type BlockStmt struct {
+	LbracePos token.Position
+	List      []Stmt
+}
+
+// DeclStmt declares a local variable, optionally initialized.
+type DeclStmt struct {
+	Type TypeExpr
+	Name string
+	NPos token.Position
+	Init Expr // may be nil
+}
+
+// ExprStmt evaluates an expression for its side effects (typically a call).
+type ExprStmt struct {
+	X Expr
+}
+
+// AssignStmt stores RHS into the location denoted by LHS.
+type AssignStmt struct {
+	LHS Expr
+	RHS Expr
+}
+
+// IfStmt is a conditional with an optional else branch.
+type IfStmt struct {
+	IfPos token.Position
+	Cond  Expr
+	Then  Stmt
+	Else  Stmt // may be nil
+}
+
+// WhileStmt is a pre-tested loop.
+type WhileStmt struct {
+	WhilePos token.Position
+	Cond     Expr
+	Body     Stmt
+}
+
+// ForStmt is a C-style for loop; any of Init, Cond, Post may be nil.
+type ForStmt struct {
+	ForPos token.Position
+	Init   Stmt
+	Cond   Expr
+	Post   Stmt
+	Body   Stmt
+}
+
+// ReturnStmt returns from the enclosing function.
+type ReturnStmt struct {
+	RetPos token.Position
+	X      Expr // may be nil
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct {
+	KwPos token.Position
+}
+
+// ContinueStmt jumps to the post/condition of the innermost loop.
+type ContinueStmt struct {
+	KwPos token.Position
+}
+
+func (s *BlockStmt) Pos() token.Position    { return s.LbracePos }
+func (s *DeclStmt) Pos() token.Position     { return s.NPos }
+func (s *ExprStmt) Pos() token.Position     { return s.X.Pos() }
+func (s *AssignStmt) Pos() token.Position   { return s.LHS.Pos() }
+func (s *IfStmt) Pos() token.Position       { return s.IfPos }
+func (s *WhileStmt) Pos() token.Position    { return s.WhilePos }
+func (s *ForStmt) Pos() token.Position      { return s.ForPos }
+func (s *ReturnStmt) Pos() token.Position   { return s.RetPos }
+func (s *BreakStmt) Pos() token.Position    { return s.KwPos }
+func (s *ContinueStmt) Pos() token.Position { return s.KwPos }
+
+func (*BlockStmt) stmtNode()    {}
+func (*DeclStmt) stmtNode()     {}
+func (*ExprStmt) stmtNode()     {}
+func (*AssignStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+
+// ---------------------------------------------------------------- exprs
+
+// IntLit is an integer literal.
+type IntLit struct {
+	LitPos token.Position
+	Value  int64
+}
+
+// StringLit is a string literal; the VM materializes it as a NUL-terminated
+// byte array in the read-only data region.
+type StringLit struct {
+	LitPos token.Position
+	Value  string
+}
+
+// NullLit is the null pointer literal.
+type NullLit struct {
+	LitPos token.Position
+}
+
+// Ident names a variable or a function.
+type Ident struct {
+	NamePos token.Position
+	Name    string
+}
+
+// UnaryExpr applies a prefix operator: -x, !x, *p (deref), &x (address-of).
+type UnaryExpr struct {
+	OpPos token.Position
+	Op    token.Kind
+	X     Expr
+}
+
+// BinaryExpr applies an infix operator.
+type BinaryExpr struct {
+	Op   token.Kind
+	X, Y Expr
+}
+
+// CallExpr calls a named function or builtin.
+type CallExpr struct {
+	Fun  *Ident
+	Args []Expr
+}
+
+// IndexExpr indexes a pointer or string: p[i]. For string operands the
+// element is a single byte widened to int.
+type IndexExpr struct {
+	X     Expr
+	Index Expr
+}
+
+// FieldExpr selects a struct field through a pointer: p->f.
+type FieldExpr struct {
+	X    Expr
+	Name string
+	NPos token.Position
+}
+
+func (e *IntLit) Pos() token.Position     { return e.LitPos }
+func (e *StringLit) Pos() token.Position  { return e.LitPos }
+func (e *NullLit) Pos() token.Position    { return e.LitPos }
+func (e *Ident) Pos() token.Position      { return e.NamePos }
+func (e *UnaryExpr) Pos() token.Position  { return e.OpPos }
+func (e *BinaryExpr) Pos() token.Position { return e.X.Pos() }
+func (e *CallExpr) Pos() token.Position   { return e.Fun.NamePos }
+func (e *IndexExpr) Pos() token.Position  { return e.X.Pos() }
+func (e *FieldExpr) Pos() token.Position  { return e.X.Pos() }
+
+func (*IntLit) exprNode()     {}
+func (*StringLit) exprNode()  {}
+func (*NullLit) exprNode()    {}
+func (*Ident) exprNode()      {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+func (*CallExpr) exprNode()   {}
+func (*IndexExpr) exprNode()  {}
+func (*FieldExpr) exprNode()  {}

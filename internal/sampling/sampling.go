@@ -1,0 +1,113 @@
+// Package sampling implements a cooperative-bug-isolation-style baseline
+// (CBI/CCI/PBI family): predicates are observed by *sampling* rather than
+// always-on tracking. Sampling keeps the per-run cost low, but a rare
+// failure-predicting event is seen only with probability 1/rate per
+// occurrence — which is exactly the root-cause-diagnosis *latency*
+// problem (§2, §7) that motivates Gist's always-on, slice-focused design.
+// The ablation benchmarks measure how many failing runs each approach
+// needs before the discriminating predicate has been observed.
+package sampling
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cost"
+	"repro/internal/ir"
+	"repro/internal/vm"
+)
+
+// perSamplePredicateMC is the software cost of evaluating and logging one
+// sampled predicate (counter decrement + slow-path logging, CBI-style).
+const perSamplePredicateMC = 4_000
+
+// Config configures a sampling monitor.
+type Config struct {
+	// Rate samples one out of every Rate candidate events; 1 = always on.
+	Rate int
+	// Seed drives the sampling decisions (independent of the program
+	// schedule seed).
+	Seed int64
+}
+
+// Result is a single monitored run.
+type Result struct {
+	Outcome *vm.Outcome
+	// Predicates observed this run: branch outcomes ("br:<id>:taken") and
+	// shared-store values ("val:<id>:<v>").
+	Predicates map[string]bool
+	Meter      cost.Meter
+}
+
+// Run executes prog with sampled predicate monitoring.
+func Run(prog *ir.Program, vmCfg vm.Config, s Config) *Result {
+	if s.Rate < 1 {
+		s.Rate = 1
+	}
+	res := &Result{Predicates: make(map[string]bool)}
+	rng := rand.New(rand.NewSource(s.Seed))
+	// Geometric countdown sampling, as in CBI: cheap fast path, sampled
+	// slow path. Rate 1 is genuinely always-on.
+	countdown := rng.Intn(s.Rate) + 1
+	sample := func() bool {
+		if s.Rate == 1 {
+			return true
+		}
+		countdown--
+		if countdown > 0 {
+			return false
+		}
+		countdown = rng.Intn(2*s.Rate-1) + 1
+		return true
+	}
+	vmCfg.Hooks = vm.Hooks{
+		OnStep: func(t *vm.Thread, in *ir.Instr, clock int64) {
+			res.Meter.AddInstr(1)
+		},
+		OnBranch: func(t *vm.Thread, in *ir.Instr, taken bool, clock int64) {
+			if sample() {
+				res.Meter.AddExtra(perSamplePredicateMC)
+				res.Predicates[branchKey(in.ID, taken)] = true
+			}
+		},
+		OnStore: func(t *vm.Thread, in *ir.Instr, addr, val, size int64, clock int64) {
+			if !vm.IsStackAddr(addr) && sample() {
+				res.Meter.AddExtra(perSamplePredicateMC)
+				res.Predicates[valueKey(in.ID, val)] = true
+			}
+		},
+	}
+	res.Outcome = vm.Run(prog, vmCfg)
+	return res
+}
+
+func branchKey(id int, taken bool) string {
+	if taken {
+		return fmt.Sprintf("br:%d:taken", id)
+	}
+	return fmt.Sprintf("br:%d:not-taken", id)
+}
+
+func valueKey(id int, val int64) string {
+	return fmt.Sprintf("val:%d:%d", id, val)
+}
+
+// RunsUntilObserved reports how many failing runs the monitor needed
+// before the given predicate was observed in at least one failing run —
+// the diagnosis-latency metric of the sampling ablation. Seeds are
+// scanned from seedBase; runs that do not fail are not counted. It gives
+// up after maxFailing failing runs and returns maxFailing+1.
+func RunsUntilObserved(prog *ir.Program, predicate string, s Config, wl vm.Workload, seedBase int64, maxFailing int) int {
+	failing := 0
+	for seed := seedBase; failing < maxFailing; seed++ {
+		res := Run(prog, vm.Config{Seed: seed, Workload: wl, PreemptMean: 3}, Config{Rate: s.Rate, Seed: seed ^ s.Seed})
+		if !res.Outcome.Failed {
+			continue
+		}
+		failing++
+		if res.Predicates[predicate] {
+			return failing
+		}
+	}
+	return maxFailing + 1
+}

@@ -1,0 +1,119 @@
+package sampling
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/vm"
+)
+
+// A program whose failure is predicted by one branch outcome that occurs
+// exactly once per failing run.
+const seqBug = `global int mode = 0;
+int main() {
+	int x = input(0);
+	for (int i = 0; i < 200; i++) { mode = mode + i; }
+	if (x == 7) {
+		mode = -1;
+	}
+	int* p = malloc(8);
+	if (mode == -1) { p = null; }
+	return *p;
+}`
+
+func failingWorkload() vm.Workload { return vm.Workload{Ints: []int64{7}} }
+
+func TestAlwaysOnObservesImmediately(t *testing.T) {
+	prog := ir.MustCompile("t.mc", seqBug)
+	res := Run(prog, vm.Config{Seed: 1, Workload: failingWorkload()}, Config{Rate: 1, Seed: 9})
+	if !res.Outcome.Failed {
+		t.Fatal("run should fail")
+	}
+	// Find the x==7 branch predicate among the observations.
+	var found bool
+	for k := range res.Predicates {
+		if k == fmt.Sprintf("br:%d:taken", brAtLine(prog, 5)) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("always-on sampling missed the discriminating branch; got %v", res.Predicates)
+	}
+}
+
+func brAtLine(p *ir.Program, line int) int {
+	for _, in := range p.Instrs {
+		if in.Op == ir.OpBr && in.Pos.Line == line {
+			return in.ID
+		}
+	}
+	return -1
+}
+
+func TestSparseSamplingMissesRareEvents(t *testing.T) {
+	prog := ir.MustCompile("t.mc", seqBug)
+	pred := fmt.Sprintf("br:%d:taken", brAtLine(prog, 5))
+
+	alwaysOn := RunsUntilObserved(prog, pred, Config{Rate: 1, Seed: 5}, failingWorkload(), 1, 50)
+	sparse := RunsUntilObserved(prog, pred, Config{Rate: 200, Seed: 5}, failingWorkload(), 1, 50)
+	if alwaysOn != 1 {
+		t.Errorf("always-on monitor should observe in the first failing run, took %d", alwaysOn)
+	}
+	if sparse <= alwaysOn {
+		t.Errorf("sparse sampling should have higher latency: always-on %d, sparse %d", alwaysOn, sparse)
+	}
+}
+
+func TestSamplingCheaperThanAlwaysOn(t *testing.T) {
+	prog := ir.MustCompile("t.mc", seqBug)
+	always := Run(prog, vm.Config{Seed: 1, Workload: failingWorkload()}, Config{Rate: 1, Seed: 2})
+	sparse := Run(prog, vm.Config{Seed: 1, Workload: failingWorkload()}, Config{Rate: 100, Seed: 2})
+	if sparse.Meter.OverheadPct() >= always.Meter.OverheadPct() {
+		t.Errorf("sampling at 1/100 should be cheaper: sparse %.2f%%, always %.2f%%",
+			sparse.Meter.OverheadPct(), always.Meter.OverheadPct())
+	}
+}
+
+func TestSamplingDeterministicInSeed(t *testing.T) {
+	prog := ir.MustCompile("t.mc", seqBug)
+	a := Run(prog, vm.Config{Seed: 3, Workload: failingWorkload()}, Config{Rate: 10, Seed: 4})
+	b := Run(prog, vm.Config{Seed: 3, Workload: failingWorkload()}, Config{Rate: 10, Seed: 4})
+	if len(a.Predicates) != len(b.Predicates) {
+		t.Fatalf("nondeterministic sampling: %d vs %d predicates", len(a.Predicates), len(b.Predicates))
+	}
+	for k := range a.Predicates {
+		if !b.Predicates[k] {
+			t.Fatalf("predicate sets differ on %s", k)
+		}
+	}
+}
+
+func TestRateOneIsAlwaysOnForStores(t *testing.T) {
+	prog := ir.MustCompile("t.mc", `
+global int g;
+int main() {
+	g = 41;
+	g = g + 1;
+	return g;
+}`)
+	res := Run(prog, vm.Config{Seed: 1}, Config{Rate: 1, Seed: 1})
+	var sawStoreVal bool
+	for k := range res.Predicates {
+		if k == fmt.Sprintf("val:%d:42", storeAtLine(prog, 5)) {
+			sawStoreVal = true
+		}
+	}
+	if !sawStoreVal {
+		t.Errorf("always-on monitor missed the store value; got %v", res.Predicates)
+	}
+}
+
+func storeAtLine(p *ir.Program, line int) int {
+	for _, in := range p.Instrs {
+		if in.Op == ir.OpStore && in.Pos.Line == line {
+			return in.ID
+		}
+	}
+	return -1
+}

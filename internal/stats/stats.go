@@ -1,0 +1,117 @@
+// Package stats provides the statistical primitives the Gist server uses:
+// precision/recall/F-beta ranking of failure predictors (§3.3) and the
+// normalized Kendall tau distance used for ordering accuracy (§5.2).
+package stats
+
+// PrecisionRecallF computes a predictor's precision, recall and F-beta
+// measure from its contingency counts:
+//
+//	fail      — failing runs in which the predictor held
+//	succ      — successful runs in which the predictor held
+//	totalFail — failing runs observed in total
+//
+// Precision answers "how many runs fail among those the predictor flags";
+// recall answers "how many failing runs the predictor flags". The paper
+// sets beta=0.5 so that precision dominates: a wrong root-cause hint is
+// worse than a missed one.
+func PrecisionRecallF(fail, succ, totalFail int, beta float64) (p, r, f float64) {
+	if fail+succ > 0 {
+		p = float64(fail) / float64(fail+succ)
+	}
+	if totalFail > 0 {
+		r = float64(fail) / float64(totalFail)
+	}
+	b2 := beta * beta
+	if den := b2*p + r; den > 0 {
+		f = (1 + b2) * p * r / den
+	}
+	return p, r, f
+}
+
+// KendallTau returns the number of pairwise order disagreements between
+// two rankings of the same item set, plus the number of comparable pairs.
+// Items present in only one ranking are ignored; ties (equal positions)
+// cannot occur since positions are list indexes.
+//
+// The normalized distance used in the paper's ordering accuracy is
+// disagreements / pairs.
+func KendallTau[T comparable](a, b []T) (disagreements, pairs int) {
+	posA := make(map[T]int, len(a))
+	for i, x := range a {
+		if _, dup := posA[x]; !dup {
+			posA[x] = i
+		}
+	}
+	posB := make(map[T]int, len(b))
+	for i, x := range b {
+		if _, dup := posB[x]; !dup {
+			posB[x] = i
+		}
+	}
+	var common []T
+	seen := make(map[T]bool)
+	for _, x := range a {
+		if _, ok := posB[x]; ok && !seen[x] {
+			seen[x] = true
+			common = append(common, x)
+		}
+	}
+	for i := 0; i < len(common); i++ {
+		for j := i + 1; j < len(common); j++ {
+			x, y := common[i], common[j]
+			dA := posA[x] - posA[y]
+			dB := posB[x] - posB[y]
+			pairs++
+			if (dA < 0) != (dB < 0) {
+				disagreements++
+			}
+		}
+	}
+	return disagreements, pairs
+}
+
+// OrderingAccuracy converts Kendall tau counts into the percentage
+// accuracy of §5.2: 100 * (1 - tau / pairs). With no comparable pairs the
+// orderings cannot disagree and accuracy is 100.
+func OrderingAccuracy(disagreements, pairs int) float64 {
+	if pairs == 0 {
+		return 100
+	}
+	return 100 * (1 - float64(disagreements)/float64(pairs))
+}
+
+// Jaccard returns 100 * |A ∩ B| / |A ∪ B| over two sets — the relevance
+// accuracy of §5.2.
+func Jaccard[T comparable](a, b map[T]bool) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 100
+	}
+	inter, union := 0, 0
+	seen := make(map[T]bool, len(a)+len(b))
+	for x := range a {
+		seen[x] = true
+		if b[x] {
+			inter++
+		}
+	}
+	for x := range b {
+		seen[x] = true
+	}
+	union = len(seen)
+	if union == 0 {
+		return 100
+	}
+	return 100 * float64(inter) / float64(union)
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
