@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1, sketches, fig9, fig10, fig11, fig12, fig13, breakdown, swpt, extpt, all")
+		exp     = flag.String("exp", "all", "experiment: table1, sketches, fig9, fig10, fig11, fig12, fig13, breakdown, swpt, extpt, chaos, all")
 		bugList = flag.String("bugs", "", "comma-separated bug subset (default: all 11)")
 		runs    = flag.Int("runs", 0, "runs per measurement point (0 = experiment default)")
 	)
@@ -124,6 +124,15 @@ func main() {
 	})
 	run("swpt", func() error {
 		fmt.Print(experiments.RenderSWPT(experiments.SoftwarePT(suite, *runs)))
+		return nil
+	})
+	run("chaos", func() error {
+		// Default to the three printed-sketch bugs; -bugs widens the sweep.
+		cs := suite
+		if *bugList == "" {
+			cs = experiments.ChaosSuite()
+		}
+		fmt.Print(experiments.RenderChaos(experiments.Chaos(cs, nil)))
 		return nil
 	})
 }

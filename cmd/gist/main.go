@@ -18,6 +18,7 @@ import (
 	"repro/internal/bugs"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 )
 
 func main() {
@@ -29,6 +30,10 @@ func main() {
 		verbose  = flag.Bool("v", false, "print per-iteration details")
 		noOracle = flag.Bool("full", false, "run AsT to completion instead of stopping at the developer oracle")
 		asJSON   = flag.Bool("json", false, "emit the sketch as JSON instead of text")
+
+		faultRate = flag.Float64("fault-rate", 0, "composite fleet fault rate in [0,1] spread across all fault classes (0 = reliable fleet)")
+		faultSeed = flag.Int64("fault-seed", 1, "fault-injector seed (diagnoses are deterministic per seed)")
+		deadline  = flag.Int64("run-deadline", 0, "per-run step deadline applied by the server (0 = off)")
 	)
 	flag.Parse()
 
@@ -52,6 +57,10 @@ func main() {
 	if !*noOracle {
 		cfg.StopWhen = experiments.DeveloperOracle(b)
 	}
+	if *faultRate > 0 {
+		cfg.Faults = faults.Composite(*faultSeed, *faultRate)
+	}
+	cfg.RunDeadlineSteps = *deadline
 
 	res, err := core.Run(cfg)
 	if err != nil {
@@ -76,12 +85,19 @@ func main() {
 		res.Slice.LineCount(), res.Slice.InstrCount())
 	fmt.Printf("Failure recurrences used: %d across %d production runs (first failure after %d runs)\n",
 		res.FailureRecurrences, res.TotalRuns, res.DiscoveryRuns)
-	fmt.Printf("Average client overhead: %.2f%%\n\n", res.AvgOverheadPct)
+	fmt.Printf("Average client overhead: %.2f%%\n", res.AvgOverheadPct)
+	if res.Health.Degraded() {
+		fmt.Printf("Fleet health: %s\n", res.Health)
+	}
+	fmt.Println()
 
 	if *verbose {
 		for i, it := range res.Iters {
 			fmt.Printf("iteration %d: sigma=%d tracked=%d instrs, %d failing / %d successful runs, overhead %.2f%%, +%d refined\n",
 				i+1, it.Sigma, it.TrackedInstrs, it.Failing, it.Successful, it.OverheadPct, len(it.AddedInstrs))
+			if it.Health.Degraded() {
+				fmt.Printf("             health: %s\n", it.Health)
+			}
 		}
 		fmt.Println()
 	}

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/cost"
+	"repro/internal/faults"
 	"repro/internal/hw/pt"
 	"repro/internal/hw/watch"
 	"repro/internal/ir"
@@ -44,9 +45,23 @@ type RunTrace struct {
 	WatchMisses int
 
 	Meter cost.Meter
-	// DecodeErr reports a PT decode problem (trace corruption); the run
-	// still contributes its outcome.
+	// DecodeErr reports a PT decode problem (trace corruption) that
+	// salvage could not recover from; the run still contributes its
+	// outcome, but the server must not feed its flow/branch data to
+	// predictor extraction.
 	DecodeErr error
+	// SalvagedCores counts cores whose corrupt trace was partially
+	// recovered by PSB resynchronization (SalvageDecode).
+	SalvagedCores int
+	// Late marks a report that arrived past the server's per-run
+	// deadline (a hung endpoint); the server discards it.
+	Late bool
+	// DroppedTraps / ReorderedTraps count trap-log damage injected in
+	// flight, for fleet-health accounting.
+	DroppedTraps   int
+	ReorderedTraps int
+	// Truncated names the RunTrace field a truncation fault ate.
+	Truncated faults.TruncateKind
 }
 
 // Failed reports whether the traced run failed.
@@ -54,15 +69,28 @@ func (rt *RunTrace) Failed() bool { return rt.Outcome.Failed }
 
 // RunInstrumented executes one production run under the plan's
 // instrumentation and collects the traces — the Gist client (Fig. 2,
-// steps 2 and 4).
+// steps 2 and 4) — on a perfectly reliable endpoint.
 func RunInstrumented(plan *Plan, spec RunSpec) *RunTrace {
+	return RunInstrumentedFaults(plan, spec, faults.Decision{})
+}
+
+// RunInstrumentedFaults is RunInstrumented on a fallible endpoint: the
+// decision injects the production failure modes of the fleet (endpoint
+// crash, hang, ring-buffer overflow, trace corruption, trap loss and
+// reordering, report truncation). A zero decision injects nothing and
+// behaves byte-identically to RunInstrumented. A crashed endpoint
+// returns nil: its report never reaches the server.
+func RunInstrumentedFaults(plan *Plan, spec RunSpec, dec faults.Decision) *RunTrace {
+	if dec.Crash {
+		return nil
+	}
 	rt := &RunTrace{
 		Spec:     spec,
 		Flow:     make(map[int][]int),
 		Branches: make(map[int][]pt.BranchObs),
 		Executed: make(map[int]bool),
 	}
-	tracer := pt.NewTracer(pt.Config{}, &rt.Meter)
+	tracer := pt.NewTracer(pt.Config{BufBytes: dec.BufBytes(0)}, &rt.Meter)
 	unit := watch.NewUnit(&rt.Meter)
 	group := plan.WatchGroupFor(spec.EndpointID)
 
@@ -173,10 +201,20 @@ func RunInstrumented(plan *Plan, spec RunSpec) *RunTrace {
 				tracer.Disable(core, lastTraced[core])
 			}
 			buf, wrapped := tracer.CoreBytes(core)
+			buf = dec.CorruptTrace(buf)
 			segs, branches, data, err := pt.DecodeFull(plan.Prog, buf, wrapped)
 			if err != nil {
-				rt.DecodeErr = err
-				continue
+				// Corrupt trace: salvage the PSB-delimited chunks that
+				// still parse and replay; only when nothing survives is
+				// the core's flow abandoned (DecodeErr tells the server
+				// to keep this run away from predictor extraction).
+				var srep pt.SalvageReport
+				segs, branches, data, srep = pt.SalvageDecode(plan.Prog, buf, wrapped)
+				if !srep.Recovered() {
+					rt.DecodeErr = err
+					continue
+				}
+				rt.SalvagedCores++
 			}
 			rt.Branches[core] = branches
 			for _, seg := range segs {
@@ -199,7 +237,35 @@ func RunInstrumented(plan *Plan, spec RunSpec) *RunTrace {
 	if plan.Feats.DataFlow && !plan.Feats.ExtendedPT {
 		rt.Traps = unit.Traps()
 	}
+	rt.applyTransitFaults(dec)
 	return rt
+}
+
+// applyTransitFaults degrades the finished RunTrace the way the network
+// path between endpoint and server can: dropped/reordered trap records,
+// truncated fields, and a hung report that will miss the deadline.
+func (rt *RunTrace) applyTransitFaults(dec faults.Decision) {
+	if !dec.Any() {
+		return
+	}
+	rt.Traps, rt.DroppedTraps, rt.ReorderedTraps = dec.ApplyTraps(rt.Traps)
+	switch dec.Truncate {
+	case faults.TruncateOutcome:
+		rt.Outcome = nil
+	case faults.TruncateTraps:
+		rt.Traps = rt.Traps[:dec.TruncateAt(len(rt.Traps))]
+	case faults.TruncateBranches:
+		var cores []int
+		for core := range rt.Branches {
+			cores = append(cores, core)
+		}
+		sort.Ints(cores)
+		if len(cores) > 0 {
+			delete(rt.Branches, dec.PickCore(cores))
+		}
+	}
+	rt.Truncated = dec.Truncate
+	rt.Late = dec.Hang
 }
 
 // FilterTraps keeps only traps on addresses that some relevant

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cfg"
+	"repro/internal/faults"
 	"repro/internal/ir"
 	"repro/internal/slicer"
 	"repro/internal/stats"
@@ -60,6 +61,36 @@ type Config struct {
 
 	// MaxDiscoveryRuns bounds the search for the first failure.
 	MaxDiscoveryRuns int
+	// DiscoveryStepBudget bounds the total interpreted steps discovery
+	// may consume across runs, so a hang-class bug with an unlucky seed
+	// cannot burn the whole MaxDiscoveryRuns budget; 0 means unlimited.
+	DiscoveryStepBudget int64
+	// DiscoveryProgress, when set, is called every
+	// DiscoveryProgressEvery runs with the runs and steps consumed so
+	// far — the deployment's liveness signal during discovery.
+	DiscoveryProgress func(runs int, steps int64)
+	// DiscoveryProgressEvery is the progress-report period in runs; 0
+	// means 256.
+	DiscoveryProgressEvery int
+
+	// Faults configures the fault-injected fleet; the zero value keeps
+	// every endpoint perfectly reliable (byte-identical to the
+	// pre-chaos pipeline).
+	Faults faults.Config
+	// RunDeadlineSteps is the per-run step deadline the server applies
+	// to arriving reports: a run whose outcome consumed more steps, or
+	// whose endpoint hung, is discarded so it cannot stall the
+	// iteration. 0 disables the deadline.
+	RunDeadlineSteps int64
+	// MaxRetries caps the retry passes (with capped exponential
+	// backoff) the AsT controller spends re-seeding replacement runs
+	// for lost endpoints in one iteration. 0 means 3.
+	MaxRetries int
+	// MinQuorum is the minimum number of validated failing+successful
+	// runs an iteration needs before its predictor ranking is
+	// considered trustworthy; below it the sketch is annotated as low
+	// confidence. 0 means 3.
+	MinQuorum int
 }
 
 func (c Config) withDefaults() Config {
@@ -93,6 +124,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxDiscoveryRuns == 0 {
 		c.MaxDiscoveryRuns = 4000
 	}
+	if c.DiscoveryProgressEvery == 0 {
+		c.DiscoveryProgressEvery = 256
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 3
+	}
+	if c.MinQuorum == 0 {
+		c.MinQuorum = 3
+	}
 	if !c.Features.Static && !c.Features.ControlFlow && !c.Features.DataFlow {
 		c.Features = AllFeatures()
 	}
@@ -112,6 +152,9 @@ type IterStats struct {
 	// AddedInstrs are statements discovered by data-flow refinement this
 	// iteration.
 	AddedInstrs []int
+	// Health summarizes fleet behavior during this iteration: losses,
+	// decode errors, quarantined runs, retries.
+	Health FleetHealth
 }
 
 // Result is the outcome of a Gist diagnosis.
@@ -130,6 +173,8 @@ type Result struct {
 	AvgOverheadPct float64
 	// DiscoveryRuns is how many runs were needed to see the first failure.
 	DiscoveryRuns int
+	// Health aggregates fleet behavior across the whole diagnosis.
+	Health FleetHealth
 }
 
 // workloadFor picks the workload for an endpoint.
@@ -142,18 +187,34 @@ func (c Config) workloadFor(k int) vm.Workload {
 
 // FirstFailure runs uninstrumented executions until the target program
 // fails, returning the failure report (the crash dump a production
-// deployment would ship) and how many runs it took.
+// deployment would ship) and how many runs it took. A positive
+// RunDeadlineSteps caps each run's steps (a hung run trips the VM's
+// hang fault at the deadline instead of burning the whole MaxSteps
+// allowance), DiscoveryStepBudget bounds the total steps across runs,
+// and DiscoveryProgress reports liveness while the search spins.
 func FirstFailure(cfg Config) (*vm.FailureReport, int, error) {
 	cfg = cfg.withDefaults()
+	maxSteps := cfg.MaxSteps
+	if cfg.RunDeadlineSteps > 0 && cfg.RunDeadlineSteps < maxSteps {
+		maxSteps = cfg.RunDeadlineSteps
+	}
+	var totalSteps int64
 	for i := 0; i < cfg.MaxDiscoveryRuns; i++ {
 		out := vm.Run(cfg.Prog, vm.Config{
 			Seed:        cfg.SeedBase + int64(i),
 			PreemptMean: cfg.PreemptMean,
-			MaxSteps:    cfg.MaxSteps,
+			MaxSteps:    maxSteps,
 			Workload:    cfg.workloadFor(i),
 		})
+		totalSteps += out.Steps
 		if out.Failed {
 			return out.Report, i + 1, nil
+		}
+		if cfg.DiscoveryProgress != nil && (i+1)%cfg.DiscoveryProgressEvery == 0 {
+			cfg.DiscoveryProgress(i+1, totalSteps)
+		}
+		if cfg.DiscoveryStepBudget > 0 && totalSteps >= cfg.DiscoveryStepBudget {
+			return nil, i + 1, fmt.Errorf("gist: discovery step budget %d exhausted after %d runs", cfg.DiscoveryStepBudget, i+1)
 		}
 	}
 	return nil, cfg.MaxDiscoveryRuns, fmt.Errorf("gist: no failure in %d discovery runs", cfg.MaxDiscoveryRuns)
@@ -195,6 +256,7 @@ func RunFromReport(cfg Config, report *vm.FailureReport, discRuns int) (*Result,
 	sigma := cfg.Sigma0
 	maxSigma := cfg.MaxSigma
 	seed := cfg.SeedBase + int64(cfg.MaxDiscoveryRuns) // past discovery seeds
+	inj := faults.NewInjector(cfg.Faults)
 
 	for iter := 0; iter < cfg.MaxIters; iter++ {
 		limit := sl.LineCount()
@@ -218,13 +280,15 @@ func RunFromReport(cfg Config, report *vm.FailureReport, discRuns int) (*Result,
 		}
 
 		var failing, successful []*RunTrace
+		var health FleetHealth
+		var lostEndpoints []int
 		iterStart := len(overheads)
-		budget := cfg.MaxBatches * cfg.Endpoints
-		for i := 0; i < budget; i++ {
-			if len(failing) >= cfg.FailuresPerIter && len(successful) >= cfg.MinSuccesses {
-				break
-			}
-			e := i % cfg.Endpoints
+		// dispatch runs one production run at endpoint e and admits its
+		// report: crashed and deadline-missing endpoints are recorded for
+		// the retry pass, arriving reports pass server-side validation,
+		// and undecodable traces are quarantined away from predictor
+		// extraction while keeping their outcome.
+		dispatch := func(e int) {
 			spec := RunSpec{
 				EndpointID:  e,
 				Seed:        seed,
@@ -232,15 +296,44 @@ func RunFromReport(cfg Config, report *vm.FailureReport, discRuns int) (*Result,
 				PreemptMean: cfg.PreemptMean,
 				MaxSteps:    cfg.MaxSteps,
 			}
+			dec := inj.ForRun(e, seed)
 			seed++
-			rt := RunInstrumented(plan, spec)
+			health.Dispatched++
+			res.TotalRuns++
+			rt := RunInstrumentedFaults(plan, spec, dec)
+			if rt == nil {
+				health.Lost++
+				lostEndpoints = append(lostEndpoints, e)
+				return
+			}
+			if rt.Late || (cfg.RunDeadlineSteps > 0 && rt.Outcome != nil && rt.Outcome.Steps > cfg.RunDeadlineSteps) {
+				health.Deadlined++
+				lostEndpoints = append(lostEndpoints, e)
+				return
+			}
+			quarantine, repaired := validateTrace(rt, len(cfg.Prog.Instrs))
+			if quarantine {
+				health.Quarantined++
+				return
+			}
+			if repaired > 0 {
+				health.Repaired++
+			}
+			health.Arrived++
+			health.TrapsDropped += rt.DroppedTraps
+			if rt.SalvagedCores > 0 {
+				health.Salvaged++
+			}
+			if rt.DecodeErr != nil {
+				health.DecodeErrs++
+				quarantineTraceData(rt)
+			}
 			if cfg.Features.ExtendedPT {
 				// The extended-PT trace logs every shared access; keep
 				// only those on addresses the tracked slice touches, the
 				// same set hardware watchpoints would have trapped on.
 				rt.FilterTraps(func(id int) bool { return sl.Contains(id) || windowSet[id] })
 			}
-			res.TotalRuns++
 			overheads = append(overheads, rt.Meter.OverheadPct())
 			if rt.Failed() && rt.Outcome.Report.ID() == report.ID() {
 				if len(failing) < cfg.FailuresPerIter {
@@ -250,7 +343,33 @@ func RunFromReport(cfg Config, report *vm.FailureReport, discRuns int) (*Result,
 				successful = append(successful, rt)
 			}
 		}
+		need := func() bool {
+			return len(failing) < cfg.FailuresPerIter || len(successful) < cfg.MinSuccesses
+		}
+		budget := cfg.MaxBatches * cfg.Endpoints
+		for i := 0; i < budget && need(); i++ {
+			dispatch(i % cfg.Endpoints)
+		}
+		// Lost and deadlined endpoints get their batches retried with
+		// capped exponential backoff: each retry pass costs backoff
+		// simulated batch delays, then re-seeds a replacement run per
+		// missing endpoint.
+		backoff := 1
+		for retry := 0; retry < cfg.MaxRetries && len(lostEndpoints) > 0 && need(); retry++ {
+			health.Retries++
+			health.BackoffBatches += backoff
+			batch := lostEndpoints
+			lostEndpoints = nil
+			for _, e := range batch {
+				health.Reseeded++
+				dispatch(e)
+			}
+			if backoff < 8 {
+				backoff *= 2
+			}
+		}
 		if len(failing) == 0 {
+			res.Health.Merge(health)
 			// The failure did not recur under this window's fleet budget;
 			// grow the window and keep waiting, like a real deployment.
 			if cfg.SigmaGrowthAdd > 0 {
@@ -288,17 +407,25 @@ func RunFromReport(cfg Config, report *vm.FailureReport, discRuns int) (*Result,
 			refine(rt)
 		}
 
+		// Quorum (§3.2): with too few validated runs the statistical
+		// comparison is noise; rank anyway, but annotate the sketch so
+		// the developer knows the confidence is degraded.
+		lowConf := len(failing)+len(successful) < cfg.MinQuorum
+		if lowConf {
+			health.LowConfidenceIters++
+		}
 		ranked := RankPredictors(cfg.Prog, failing, successful, cfg.Beta)
 		// Base the sketch on the best-instrumented failing run: under
 		// cooperative watchpoint partitioning, different failing runs
 		// observed different location classes.
 		basis := failing[0]
 		for _, rt := range failing[1:] {
-			if len(rt.Traps) > len(basis.Traps) {
+			if betterBasis(rt, basis) {
 				basis = rt
 			}
 		}
 		sketch := BuildSketch(cfg.Title, plan, basis, ranked, added)
+		sketch.LowConfidence = lowConf
 		res.Sketch = sketch
 		res.Iters = append(res.Iters, IterStats{
 			Sigma:         effSigma,
@@ -308,7 +435,9 @@ func RunFromReport(cfg Config, report *vm.FailureReport, discRuns int) (*Result,
 			Successful:    len(successful),
 			OverheadPct:   stats.Mean(overheads[iterStart:]),
 			AddedInstrs:   addedNow,
+			Health:        health,
 		})
+		res.Health.Merge(health)
 
 		if cfg.StopWhen != nil && cfg.StopWhen(sketch) {
 			break
@@ -331,6 +460,17 @@ func RunFromReport(cfg Config, report *vm.FailureReport, discRuns int) (*Result,
 
 // BuildGraph constructs (or returns) the TICFG for the configured program.
 func (c Config) BuildGraph() *cfg.TICFG { return cfg.BuildTICFG(c.Prog) }
+
+// betterBasis prefers a failing run with a clean decode over one whose
+// trace had to be quarantined, then the run with the larger trap log
+// (strictly larger, so the earliest run wins ties and the clean-fleet
+// choice is unchanged).
+func betterBasis(a, b *RunTrace) bool {
+	if (a.DecodeErr == nil) != (b.DecodeErr == nil) {
+		return a.DecodeErr == nil
+	}
+	return len(a.Traps) > len(b.Traps)
+}
 
 func containsInt(xs []int, v int) bool {
 	for _, x := range xs {

@@ -264,6 +264,17 @@ func singleDef(fn *ir.Func, reg int) *ir.Instr {
 	return def
 }
 
+// GroupOf returns the watch-group index endpoint k is assigned to, or
+// -1 when the plan has no watch groups. A replacement run re-seeded for
+// a lost endpoint keeps the endpoint's ID and therefore its group, so
+// cooperative partitioning coverage survives fleet losses.
+func (p *Plan) GroupOf(endpoint int) int {
+	if len(p.WatchGroups) == 0 {
+		return -1
+	}
+	return endpoint % len(p.WatchGroups)
+}
+
 // WatchGroupFor returns the set of access instructions endpoint k arms
 // watchpoints for.
 func (p *Plan) WatchGroupFor(endpoint int) map[int]bool {

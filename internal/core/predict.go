@@ -55,24 +55,34 @@ type Ranked struct {
 }
 
 // ExtractPredicates returns the set of predictors that hold in one run.
+// Runs whose PT trace failed to decode (DecodeErr) contribute no branch
+// predictors even if stale branch data is still attached — corrupt TNT
+// bits make convincing-looking lies — and traps naming instructions
+// outside the program are skipped rather than trusted.
 func ExtractPredicates(prog *ir.Program, rt *RunTrace) map[string]Predictor {
 	out := make(map[string]Predictor)
+	valid := func(id int) bool { return id >= 0 && id < len(prog.Instrs) }
 
 	// Branch predictors from decoded control flow.
-	for id, outcomes := range rt.BranchOutcomes(prog) {
-		for taken := range outcomes {
-			pat := "not-taken"
-			if taken {
-				pat = "taken"
+	if rt.DecodeErr == nil {
+		for id, outcomes := range rt.BranchOutcomes(prog) {
+			if !valid(id) {
+				continue
 			}
-			p := Predictor{
-				Kind:     PredBranch,
-				Key:      fmt.Sprintf("br:%d:%s", id, pat),
-				Desc:     fmt.Sprintf("branch at %s %s", prog.Instrs[id].Pos, pat),
-				InstrIDs: []int{id},
-				Pattern:  pat,
+			for taken := range outcomes {
+				pat := "not-taken"
+				if taken {
+					pat = "taken"
+				}
+				p := Predictor{
+					Kind:     PredBranch,
+					Key:      fmt.Sprintf("br:%d:%s", id, pat),
+					Desc:     fmt.Sprintf("branch at %s %s", prog.Instrs[id].Pos, pat),
+					InstrIDs: []int{id},
+					Pattern:  pat,
+				}
+				out[p.Key] = p
 			}
-			out[p.Key] = p
 		}
 	}
 
@@ -82,6 +92,9 @@ func ExtractPredicates(prog *ir.Program, rt *RunTrace) map[string]Predictor {
 	// like heap addresses vary across runs, but "negative", "zero", and
 	// "positive" aggregate).
 	for _, tr := range rt.Traps {
+		if !valid(tr.InstrID) {
+			continue
+		}
 		p := Predictor{
 			Kind:     PredValue,
 			Key:      fmt.Sprintf("val:%d:%d", tr.InstrID, tr.Val),
@@ -107,6 +120,9 @@ func ExtractPredicates(prog *ir.Program, rt *RunTrace) map[string]Predictor {
 	// (Fig. 5 and Fig. 6).
 	byAddr := make(map[int64][]int) // address -> indexes into rt.Traps
 	for i, tr := range rt.Traps {
+		if !valid(tr.InstrID) {
+			continue
+		}
 		byAddr[tr.Addr] = append(byAddr[tr.Addr], i)
 	}
 	var addrs []int64

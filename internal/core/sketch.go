@@ -53,6 +53,10 @@ type Sketch struct {
 	// AddedByRefinement lists instructions that entered the sketch via
 	// runtime data-flow discovery rather than the static slice.
 	AddedByRefinement []int
+	// LowConfidence marks a sketch ranked from fewer validated runs than
+	// the server's quorum (a degraded fleet starved the iteration); the
+	// predictors are still the best available but statistically weaker.
+	LowConfidence bool
 }
 
 // sketchEvent is an internal pre-step: a (thread, line) statement
@@ -292,7 +296,11 @@ func (sk *Sketch) Render() string {
 	const colWidth = 50
 	var b strings.Builder
 	fmt.Fprintf(&b, "Failure Sketch for %s\n", sk.Title)
-	fmt.Fprintf(&b, "Type: %s\n\n", sk.FailureKind)
+	fmt.Fprintf(&b, "Type: %s\n", sk.FailureKind)
+	if sk.LowConfidence {
+		b.WriteString("Confidence: LOW (ranked below validated-run quorum)\n")
+	}
+	b.WriteString("\n")
 	b.WriteString("Time ")
 	for _, tid := range sk.Threads {
 		fmt.Fprintf(&b, "%-*s", colWidth, fmt.Sprintf("Thread T%d", tid))

@@ -121,6 +121,29 @@ func RenderExtPT(rows []ExtPTRow) string {
 	return b.String()
 }
 
+// RenderChaos renders the chaos sweep, one row per (rate, bug).
+func RenderChaos(rows []ChaosRow) string {
+	var b strings.Builder
+	b.WriteString("Chaos: diagnosis quality vs. composite fleet fault rate (fixed seed, deterministic)\n\n")
+	fmt.Fprintf(&b, "%6s %-13s %13s %7s %6s %5s %5s %7s %7s %8s %9s\n",
+		"rate", "Bug", "accuracy (%)", "recurr", "runs",
+		"lost", "dead", "decode", "quarant", "reseeded", "status")
+	for _, r := range rows {
+		status := "ok"
+		switch {
+		case r.Err:
+			status = "failed"
+		case r.LowConfidence:
+			status = "low-conf"
+		}
+		fmt.Fprintf(&b, "%5.0f%% %-13s %13.1f %7d %6d %5d %5d %7d %7d %8d %9s\n",
+			r.Rate*100, r.Bug, r.Accuracy, r.Recurrences, r.TotalRuns,
+			r.Health.Lost, r.Health.Deadlined, r.Health.DecodeErrs,
+			r.Health.Quarantined, r.Health.Reseeded, status)
+	}
+	return b.String()
+}
+
 // RenderSWPT renders the §4 hardware-vs-software tracing comparison.
 func RenderSWPT(rows []SWPTRow) string {
 	var b strings.Builder

@@ -1,0 +1,266 @@
+// Package faults is the deterministic fault injector for the simulated
+// endpoint fleet. Gist's premise is diagnosis from *in-production* runs
+// (§3.2), and production fleets are not the clean room the rest of the
+// simulator provides: endpoints crash or hang mid-run, PT ring buffers
+// overflow, trace bytes get corrupted in transit, watchpoint traps are
+// dropped or reordered by the delivery path, and reports arrive
+// truncated. This package injects exactly those failure classes, per
+// run, from a seeded stream, so that every degraded-mode code path of
+// the server can be exercised deterministically.
+//
+// Determinism contract: the injected faults for a run are a pure
+// function of (Config.Seed, endpoint ID, run seed). A disabled Config
+// (the zero value) produces a nil *Injector whose decisions are all
+// zero — callers on the clean path never draw randomness, so behavior
+// with injection disabled is byte-identical to a build without this
+// package.
+package faults
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"repro/internal/hw/watch"
+)
+
+// Config sets per-run fault probabilities for the simulated fleet. All
+// rates are in [0, 1] and independent; one run can suffer several fault
+// classes at once (a crashing endpoint trivially also loses its traps).
+// The zero value disables injection entirely.
+type Config struct {
+	// Seed salts the per-run fault stream. Two fleets with the same
+	// rates but different seeds fail in different places.
+	Seed int64
+
+	// CrashRate is the probability an endpoint dies mid-run: its report
+	// never reaches the server.
+	CrashRate float64
+	// HangRate is the probability an endpoint wedges: its report exists
+	// but arrives past the server's per-run deadline.
+	HangRate float64
+	// OverflowRate is the probability the endpoint's PT ring buffer is
+	// squeezed hard enough to overflow, forcing the decoder to resync at
+	// a PSB and lose the trace prefix.
+	OverflowRate float64
+	// CorruptRate is the probability the raw PT trace bytes are
+	// corrupted in flight (bit rot, truncated DMA, torn writes).
+	CorruptRate float64
+	// TrapDropRate is the probability the run's watchpoint trap log
+	// loses a fraction of its entries.
+	TrapDropRate float64
+	// TrapReorderRate is the probability adjacent trap records are
+	// swapped by the delivery path, breaking clock order.
+	TrapReorderRate float64
+	// TruncateRate is the probability a RunTrace field is truncated in
+	// flight (outcome header lost, trap log chopped, a core's branch
+	// observations dropped).
+	TruncateRate float64
+
+	// DropFraction is the fraction of traps dropped within an affected
+	// run; 0 means 0.3.
+	DropFraction float64
+	// OverflowBufBytes is the forced ring-buffer size for overflow
+	// faults; 0 means 512 bytes (small enough that any realistic traced
+	// region wraps).
+	OverflowBufBytes int
+}
+
+// Enabled reports whether any fault class has a nonzero rate.
+func (c Config) Enabled() bool {
+	return c.CrashRate > 0 || c.HangRate > 0 || c.OverflowRate > 0 ||
+		c.CorruptRate > 0 || c.TrapDropRate > 0 || c.TrapReorderRate > 0 ||
+		c.TruncateRate > 0
+}
+
+// Composite returns a Config that spreads one composite fault rate
+// across every fault class: rate is the probability that a run is hit
+// by at least roughly one fault, split evenly so no single class
+// dominates. This is the knob the chaos experiment sweeps.
+func Composite(seed int64, rate float64) Config {
+	per := rate / 7
+	return Config{
+		Seed:            seed,
+		CrashRate:       per,
+		HangRate:        per,
+		OverflowRate:    per,
+		CorruptRate:     per,
+		TrapDropRate:    per,
+		TrapReorderRate: per,
+		TruncateRate:    per,
+	}
+}
+
+// String summarizes the configuration for experiment tables.
+func (c Config) String() string {
+	if !c.Enabled() {
+		return "faults: disabled"
+	}
+	return fmt.Sprintf("faults: crash=%.3f hang=%.3f overflow=%.3f corrupt=%.3f drop=%.3f reorder=%.3f truncate=%.3f",
+		c.CrashRate, c.HangRate, c.OverflowRate, c.CorruptRate,
+		c.TrapDropRate, c.TrapReorderRate, c.TruncateRate)
+}
+
+// Injector derives per-run fault decisions. A nil injector is valid and
+// never injects anything.
+type Injector struct {
+	cfg Config
+}
+
+// NewInjector returns an injector for cfg, or nil when cfg is disabled
+// so clean-path callers pay nothing.
+func NewInjector(cfg Config) *Injector {
+	if !cfg.Enabled() {
+		return nil
+	}
+	if cfg.DropFraction == 0 {
+		cfg.DropFraction = 0.3
+	}
+	if cfg.OverflowBufBytes == 0 {
+		cfg.OverflowBufBytes = 512
+	}
+	return &Injector{cfg: cfg}
+}
+
+// TruncateKind selects which RunTrace field a truncation fault eats.
+type TruncateKind int
+
+// Truncation targets.
+const (
+	// TruncateNone: no truncation.
+	TruncateNone TruncateKind = iota
+	// TruncateOutcome drops the run outcome header; the report is
+	// useless and the server must quarantine it.
+	TruncateOutcome
+	// TruncateTraps chops a suffix of the watchpoint trap log.
+	TruncateTraps
+	// TruncateBranches drops one core's branch observations.
+	TruncateBranches
+)
+
+// Decision is the set of faults injected into one production run. The
+// zero value injects nothing.
+type Decision struct {
+	// Crash: the endpoint dies; the report never arrives.
+	Crash bool
+	// Hang: the report arrives past the server's per-run deadline.
+	Hang bool
+	// Overflow: the PT ring buffer is forced down to OverflowBufBytes.
+	Overflow bool
+	// Corrupt: trace bytes are flipped in flight.
+	Corrupt bool
+	// DropTraps / ReorderTraps: the watchpoint trap log is degraded.
+	DropTraps    bool
+	ReorderTraps bool
+	// Truncate selects a RunTrace field to truncate.
+	Truncate TruncateKind
+
+	dropFraction float64
+	bufBytes     int
+	rng          *rand.Rand
+}
+
+// Any reports whether the decision injects at least one fault.
+func (d Decision) Any() bool {
+	return d.Crash || d.Hang || d.Overflow || d.Corrupt ||
+		d.DropTraps || d.ReorderTraps || d.Truncate != TruncateNone
+}
+
+// ForRun derives the fault decision for one run, a pure function of the
+// injector seed and the run's identity.
+func (i *Injector) ForRun(endpoint int, seed int64) Decision {
+	if i == nil {
+		return Decision{}
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d|%d", i.cfg.Seed, endpoint, seed)
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+	d := Decision{
+		Crash:        rng.Float64() < i.cfg.CrashRate,
+		Hang:         rng.Float64() < i.cfg.HangRate,
+		Overflow:     rng.Float64() < i.cfg.OverflowRate,
+		Corrupt:      rng.Float64() < i.cfg.CorruptRate,
+		DropTraps:    rng.Float64() < i.cfg.TrapDropRate,
+		ReorderTraps: rng.Float64() < i.cfg.TrapReorderRate,
+		dropFraction: i.cfg.DropFraction,
+		bufBytes:     i.cfg.OverflowBufBytes,
+		rng:          rng,
+	}
+	if rng.Float64() < i.cfg.TruncateRate {
+		d.Truncate = TruncateKind(1 + rng.Intn(3))
+	}
+	return d
+}
+
+// BufBytes returns the PT ring-buffer size the client must use: the
+// forced tiny buffer under an overflow fault, dflt otherwise (0 keeps
+// the tracer's own default).
+func (d Decision) BufBytes(dflt int) int {
+	if d.Overflow {
+		return d.bufBytes
+	}
+	return dflt
+}
+
+// CorruptTrace flips a few bytes of a copy of buf, modeling in-flight
+// trace corruption. The number and positions of flipped bytes come from
+// the decision's seeded stream. Empty buffers pass through untouched.
+func (d Decision) CorruptTrace(buf []byte) []byte {
+	if !d.Corrupt || len(buf) == 0 {
+		return buf
+	}
+	out := append([]byte(nil), buf...)
+	n := 1 + d.rng.Intn(8)
+	for k := 0; k < n; k++ {
+		pos := d.rng.Intn(len(out))
+		out[pos] ^= byte(1 + d.rng.Intn(255))
+	}
+	return out
+}
+
+// ApplyTraps degrades a trap log per the decision: dropped entries,
+// then adjacent swaps that break clock order. It returns the degraded
+// log and how many entries were dropped and reordered.
+func (d Decision) ApplyTraps(traps []watch.Trap) (out []watch.Trap, dropped, reordered int) {
+	out = traps
+	if d.DropTraps && len(out) > 0 {
+		kept := make([]watch.Trap, 0, len(out))
+		for _, tr := range out {
+			if d.rng.Float64() < d.dropFraction {
+				dropped++
+				continue
+			}
+			kept = append(kept, tr)
+		}
+		out = kept
+	}
+	if d.ReorderTraps && len(out) > 1 {
+		if &out[0] == &traps[0] {
+			out = append([]watch.Trap(nil), out...)
+		}
+		n := 1 + d.rng.Intn(3)
+		for k := 0; k < n; k++ {
+			i := d.rng.Intn(len(out) - 1)
+			out[i], out[i+1] = out[i+1], out[i]
+			reordered++
+		}
+	}
+	return out, dropped, reordered
+}
+
+// TruncateAt returns a truncation point in [0, n) for a field of length
+// n, from the decision's seeded stream.
+func (d Decision) TruncateAt(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return d.rng.Intn(n)
+}
+
+// PickCore picks one of the given core IDs for a per-core fault.
+func (d Decision) PickCore(cores []int) int {
+	if len(cores) == 0 {
+		return 0
+	}
+	return cores[d.rng.Intn(len(cores))]
+}

@@ -1,0 +1,155 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/hw/watch"
+)
+
+func TestDisabledConfigInjectsNothing(t *testing.T) {
+	if NewInjector(Config{}) != nil {
+		t.Fatal("zero config must yield a nil injector")
+	}
+	var inj *Injector
+	d := inj.ForRun(3, 77)
+	if d.Any() {
+		t.Fatalf("nil injector produced a fault: %+v", d)
+	}
+	// The zero decision's primitives are all pass-through.
+	if d.BufBytes(0) != 0 || d.BufBytes(4096) != 4096 {
+		t.Error("zero decision altered the buffer size")
+	}
+	buf := []byte{1, 2, 3}
+	if got := d.CorruptTrace(buf); &got[0] != &buf[0] {
+		t.Error("zero decision copied/corrupted the trace")
+	}
+	traps := []watch.Trap{{Clock: 1}, {Clock: 2}}
+	out, dropped, reordered := d.ApplyTraps(traps)
+	if dropped != 0 || reordered != 0 || &out[0] != &traps[0] {
+		t.Error("zero decision touched the trap log")
+	}
+}
+
+func TestForRunIsDeterministic(t *testing.T) {
+	cfg := Composite(99, 0.5)
+	a, b := NewInjector(cfg), NewInjector(cfg)
+	for e := 0; e < 10; e++ {
+		for seed := int64(0); seed < 20; seed++ {
+			da, db := a.ForRun(e, seed), b.ForRun(e, seed)
+			if da.Crash != db.Crash || da.Hang != db.Hang || da.Overflow != db.Overflow ||
+				da.Corrupt != db.Corrupt || da.DropTraps != db.DropTraps ||
+				da.ReorderTraps != db.ReorderTraps || da.Truncate != db.Truncate {
+				t.Fatalf("endpoint %d seed %d: decisions differ across identical injectors", e, seed)
+			}
+		}
+	}
+}
+
+func TestSeedChangesWhereFaultsLand(t *testing.T) {
+	a := NewInjector(Composite(1, 0.5))
+	b := NewInjector(Composite(2, 0.5))
+	differs := false
+	for e := 0; e < 10 && !differs; e++ {
+		for seed := int64(0); seed < 20; seed++ {
+			if !reflect.DeepEqual(faultsOf(a.ForRun(e, seed)), faultsOf(b.ForRun(e, seed))) {
+				differs = true
+				break
+			}
+		}
+	}
+	if !differs {
+		t.Error("two different fleet seeds fail in exactly the same places")
+	}
+}
+
+func faultsOf(d Decision) [7]interface{} {
+	return [7]interface{}{d.Crash, d.Hang, d.Overflow, d.Corrupt, d.DropTraps, d.ReorderTraps, d.Truncate}
+}
+
+func TestCompositeSpreadsRate(t *testing.T) {
+	c := Composite(5, 0.21)
+	if !c.Enabled() {
+		t.Fatal("composite rate 0.21 should enable injection")
+	}
+	sum := c.CrashRate + c.HangRate + c.OverflowRate + c.CorruptRate +
+		c.TrapDropRate + c.TrapReorderRate + c.TruncateRate
+	if sum < 0.2099 || sum > 0.2101 {
+		t.Errorf("per-class rates sum to %v, want 0.21", sum)
+	}
+	if Composite(5, 0).Enabled() {
+		t.Error("composite rate 0 must stay disabled")
+	}
+}
+
+func TestCorruptTraceDamagesCopy(t *testing.T) {
+	inj := NewInjector(Config{Seed: 3, CorruptRate: 1})
+	d := inj.ForRun(0, 0)
+	if !d.Corrupt {
+		t.Fatal("CorruptRate=1 did not corrupt")
+	}
+	orig := make([]byte, 64)
+	for i := range orig {
+		orig[i] = byte(i)
+	}
+	snapshot := append([]byte(nil), orig...)
+	got := d.CorruptTrace(orig)
+	if !reflect.DeepEqual(orig, snapshot) {
+		t.Error("CorruptTrace mutated the caller's buffer")
+	}
+	changed := 0
+	for i := range got {
+		if got[i] != orig[i] {
+			changed++
+		}
+	}
+	if changed == 0 || changed > 8 {
+		t.Errorf("corruption flipped %d bytes, want 1..8", changed)
+	}
+}
+
+func TestApplyTrapsDropAndReorder(t *testing.T) {
+	traps := make([]watch.Trap, 40)
+	for i := range traps {
+		traps[i] = watch.Trap{InstrID: i, Clock: int64(i)}
+	}
+	inj := NewInjector(Config{Seed: 11, TrapDropRate: 1, TrapReorderRate: 1, DropFraction: 0.25})
+	d := inj.ForRun(0, 0)
+	out, dropped, reordered := d.ApplyTraps(traps)
+	if dropped == 0 || len(out) != len(traps)-dropped {
+		t.Fatalf("dropped=%d len(out)=%d len(in)=%d", dropped, len(out), len(traps))
+	}
+	if reordered == 0 {
+		t.Fatal("reorder fault swapped nothing")
+	}
+	broken := false
+	for i := 1; i < len(out); i++ {
+		if out[i].Clock < out[i-1].Clock {
+			broken = true
+		}
+	}
+	if !broken {
+		t.Error("reordering left the log in clock order")
+	}
+	// The input log is never mutated.
+	for i := range traps {
+		if traps[i].InstrID != i {
+			t.Fatal("ApplyTraps mutated the input slice")
+		}
+	}
+}
+
+func TestTruncateRateSelectsAKind(t *testing.T) {
+	inj := NewInjector(Config{Seed: 13, TruncateRate: 1})
+	kinds := make(map[TruncateKind]bool)
+	for seed := int64(0); seed < 50; seed++ {
+		d := inj.ForRun(0, seed)
+		if d.Truncate == TruncateNone {
+			t.Fatalf("TruncateRate=1 produced no truncation (seed %d)", seed)
+		}
+		kinds[d.Truncate] = true
+	}
+	if len(kinds) != 3 {
+		t.Errorf("50 decisions hit %d truncation kinds, want all 3", len(kinds))
+	}
+}
