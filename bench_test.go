@@ -294,3 +294,26 @@ func BenchmarkSingleDiagnosis(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkFleetScaling runs the pbzip2 diagnosis at increasing fleet
+// worker-pool widths. Output is byte-identical at every width (the
+// determinism tests assert that); this measures only the wall-clock
+// effect, which is bounded by GOMAXPROCS.
+func BenchmarkFleetScaling(b *testing.B) {
+	bug := bugs.ByName("pbzip2")
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := bug.GistConfig()
+				cfg.Features = core.AllFeatures()
+				cfg.Workers = workers
+				cfg.StopWhen = experiments.DeveloperOracle(bug)
+				res, err := core.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.TotalRuns+res.DiscoveryRuns), "runs/diagnosis")
+			}
+		})
+	}
+}

@@ -21,11 +21,14 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1, sketches, fig9, fig10, fig11, fig12, fig13, breakdown, swpt, extpt, chaos, all")
-		bugList = flag.String("bugs", "", "comma-separated bug subset (default: all 11)")
-		runs    = flag.Int("runs", 0, "runs per measurement point (0 = experiment default)")
+		exp      = flag.String("exp", "all", "experiment: table1, sketches, fig9, fig10, fig11, fig12, fig13, breakdown, swpt, extpt, chaos, perf, all")
+		bugList  = flag.String("bugs", "", "comma-separated bug subset (default: all 11)")
+		runs     = flag.Int("runs", 0, "runs per measurement point (0 = experiment default)")
+		workers  = flag.Int("workers", 0, "fan-out width for suite sweeps and the fleet inside each diagnosis (0 = GOMAXPROCS); results are byte-identical for any value")
+		jsonPath = flag.String("json", "", "with -exp perf: write the scaling results to this JSON file (e.g. BENCH_fleet.json)")
 	)
 	flag.Parse()
+	experiments.Workers = *workers
 
 	suite := bugs.All()
 	if *bugList != "" {
@@ -135,4 +138,26 @@ func main() {
 		fmt.Print(experiments.RenderChaos(experiments.Chaos(cs, nil)))
 		return nil
 	})
+	// perf re-diagnoses the suite once per worker count, so it runs only
+	// when asked for by name, not as part of "all".
+	if *exp == "perf" {
+		wl := []int{1, 2, 4, 8}
+		if *workers > 0 {
+			wl = []int{1, *workers}
+		}
+		fmt.Printf("==== perf ====\n\n")
+		res, err := experiments.Perf(suite, wl)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gist-bench: perf: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(experiments.RenderPerf(res))
+		if *jsonPath != "" {
+			if err := res.WriteJSON(*jsonPath); err != nil {
+				fmt.Fprintf(os.Stderr, "gist-bench: perf: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("\nwrote %s\n", *jsonPath)
+		}
+	}
 }

@@ -31,6 +31,7 @@ func main() {
 		noOracle = flag.Bool("full", false, "run AsT to completion instead of stopping at the developer oracle")
 		asJSON   = flag.Bool("json", false, "emit the sketch as JSON instead of text")
 
+		workers   = flag.Int("workers", 0, "fleet worker-pool width (0 = GOMAXPROCS); the diagnosis is byte-identical for any value")
 		faultRate = flag.Float64("fault-rate", 0, "composite fleet fault rate in [0,1] spread across all fault classes (0 = reliable fleet)")
 		faultSeed = flag.Int64("fault-seed", 1, "fault-injector seed (diagnoses are deterministic per seed)")
 		deadline  = flag.Int64("run-deadline", 0, "per-run step deadline applied by the server (0 = off)")
@@ -54,6 +55,7 @@ func main() {
 	cfg := b.GistConfig()
 	cfg.Features = feats
 	cfg.Sigma0 = *sigma0
+	cfg.Workers = *workers
 	if !*noOracle {
 		cfg.StopWhen = experiments.DeveloperOracle(b)
 	}

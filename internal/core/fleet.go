@@ -1,0 +1,88 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/faults"
+)
+
+// This file is the deterministic parallel execution layer for the
+// endpoint fleet. The paper amortizes tracking across 1,136 cooperating
+// endpoints (§3.2); those endpoints run concurrently in production, and
+// the simulator models that by executing production runs on a bounded
+// worker pool.
+//
+// Determinism contract: every production run is a pure function of
+// (plan, spec, fault decision) — the plan is read-only during
+// execution, and each run owns its VM, PT tracer, watchpoint unit, and
+// fault RNG. The server binds seeds to runs at job-creation time (in
+// dispatch order, before any parallelism starts) and admits results
+// strictly in dispatch order, so every sketch, predictor ranking, and
+// FleetHealth counter is byte-identical for any worker count, including
+// under chaos injection.
+
+// fleetJob is one production run awaiting execution: the spec the
+// endpoint will run and the fault decision injected into it.
+type fleetJob struct {
+	spec RunSpec
+	dec  faults.Decision
+}
+
+// parallelMap evaluates f(0..n-1) on up to workers goroutines and
+// returns the results indexed by input. Each f(i) must be a pure
+// function of i; callers consume results in index order, which is what
+// makes a parallel fleet byte-identical to a serial one.
+func parallelMap[T any](n, workers int, f func(int) T) []T {
+	out := make([]T, n)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = f(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = f(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// runFleet executes the batch concurrently and returns the traces in
+// job order.
+func runFleet(plan *Plan, jobs []fleetJob, workers int) []*RunTrace {
+	return parallelMap(len(jobs), workers, func(i int) *RunTrace {
+		return RunInstrumentedFaults(plan, jobs[i].spec, jobs[i].dec)
+	})
+}
+
+// fleetChunk is how many runs the server dispatches ahead of admission.
+// A serial server dispatches one run at a time (no speculation — the
+// historical loop exactly); a parallel server keeps the pipe a few
+// batches deep, bounding the work ordered admission may discard when an
+// iteration's quota fills mid-chunk. Discarded runs never burn seeds,
+// so speculation costs only wall-clock slack, never determinism.
+func fleetChunk(workers int) int {
+	if workers <= 1 {
+		return 1
+	}
+	return 4 * workers
+}
+
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }

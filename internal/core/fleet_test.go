@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestParallelMapIndexOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 200} {
+		out := parallelMap(100, workers, func(i int) int { return i * i })
+		if len(out) != 100 {
+			t.Fatalf("workers=%d: got %d results", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestParallelMapEmpty(t *testing.T) {
+	if out := parallelMap(0, 8, func(i int) int { return i }); len(out) != 0 {
+		t.Fatalf("got %d results for n=0", len(out))
+	}
+}
+
+func TestFleetChunk(t *testing.T) {
+	if got := fleetChunk(1); got != 1 {
+		t.Errorf("serial server must not speculate: chunk = %d", got)
+	}
+	if got := fleetChunk(4); got != 16 {
+		t.Errorf("fleetChunk(4) = %d, want 16", got)
+	}
+}
+
+func TestFirstFailureWorkerDeterminism(t *testing.T) {
+	type probe struct {
+		kind    string
+		instrID int
+		disc    int
+	}
+	var base probe
+	for i, workers := range []int{1, 3, 8} {
+		cfg := pbzipConfig(t)
+		cfg.Workers = workers
+		report, disc, err := FirstFailure(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got := probe{kind: fmt.Sprint(report.Kind), instrID: report.InstrID, disc: disc}
+		if i == 0 {
+			base = got
+			continue
+		}
+		if got != base {
+			t.Errorf("workers=%d diverged: %+v vs %+v", workers, got, base)
+		}
+	}
+}
+
+// TestRunWorkerDeterminism is the core-level half of the repo's
+// determinism contract: the full pipeline must produce byte-identical
+// output at any fleet width. The experiments package repeats this
+// across the printed-sketch bugs and under fault injection.
+func TestRunWorkerDeterminism(t *testing.T) {
+	fingerprint := func(workers int) string {
+		cfg := pbzipConfig(t)
+		cfg.Workers = workers
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		fp := fmt.Sprintf("disc=%d total=%d rec=%d ov=%.6f health=%s\n",
+			res.DiscoveryRuns, res.TotalRuns, res.FailureRecurrences,
+			res.AvgOverheadPct, res.Health)
+		for _, it := range res.Iters {
+			fp += fmt.Sprintf("%+v\n", it)
+		}
+		fp += res.Sketch.Render()
+		for _, r := range res.Sketch.AllRanked {
+			fp += fmt.Sprintf("%+v\n", r)
+		}
+		return fp
+	}
+	serial := fingerprint(1)
+	if wide := fingerprint(8); wide != serial {
+		t.Fatalf("workers=8 diverged from serial:\n--- serial ---\n%s\n--- workers=8 ---\n%s", serial, wide)
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/analysis"
 	"repro/internal/cfg"
 	"repro/internal/faults"
 	"repro/internal/ir"
@@ -91,6 +92,12 @@ type Config struct {
 	// considered trustworthy; below it the sketch is annotated as low
 	// confidence. 0 means 3.
 	MinQuorum int
+
+	// Workers bounds how many endpoint runs the server executes
+	// concurrently (discovery, iteration, and retry batches). Results
+	// are admitted in dispatch order, so any worker count produces
+	// byte-identical diagnoses; 0 means GOMAXPROCS.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -132,6 +139,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MinQuorum == 0 {
 		c.MinQuorum = 3
+	}
+	if c.Workers == 0 {
+		c.Workers = defaultWorkers()
+	}
+	if c.Workers < 1 {
+		c.Workers = 1
 	}
 	if !c.Features.Static && !c.Features.ControlFlow && !c.Features.DataFlow {
 		c.Features = AllFeatures()
@@ -192,6 +205,10 @@ func (c Config) workloadFor(k int) vm.Workload {
 // hang fault at the deadline instead of burning the whole MaxSteps
 // allowance), DiscoveryStepBudget bounds the total steps across runs,
 // and DiscoveryProgress reports liveness while the search spins.
+//
+// Runs execute on the fleet's worker pool (Config.Workers) in
+// speculative chunks; outcomes are consumed in seed order, so the
+// report, run count, and budget errors are identical to serial search.
 func FirstFailure(cfg Config) (*vm.FailureReport, int, error) {
 	cfg = cfg.withDefaults()
 	maxSteps := cfg.MaxSteps
@@ -199,22 +216,33 @@ func FirstFailure(cfg Config) (*vm.FailureReport, int, error) {
 		maxSteps = cfg.RunDeadlineSteps
 	}
 	var totalSteps int64
-	for i := 0; i < cfg.MaxDiscoveryRuns; i++ {
-		out := vm.Run(cfg.Prog, vm.Config{
-			Seed:        cfg.SeedBase + int64(i),
-			PreemptMean: cfg.PreemptMean,
-			MaxSteps:    maxSteps,
-			Workload:    cfg.workloadFor(i),
+	chunk := fleetChunk(cfg.Workers)
+	for base := 0; base < cfg.MaxDiscoveryRuns; base += chunk {
+		n := chunk
+		if base+n > cfg.MaxDiscoveryRuns {
+			n = cfg.MaxDiscoveryRuns - base
+		}
+		outs := parallelMap(n, cfg.Workers, func(j int) *vm.Outcome {
+			i := base + j
+			return vm.Run(cfg.Prog, vm.Config{
+				Seed:        cfg.SeedBase + int64(i),
+				PreemptMean: cfg.PreemptMean,
+				MaxSteps:    maxSteps,
+				Workload:    cfg.workloadFor(i),
+			})
 		})
-		totalSteps += out.Steps
-		if out.Failed {
-			return out.Report, i + 1, nil
-		}
-		if cfg.DiscoveryProgress != nil && (i+1)%cfg.DiscoveryProgressEvery == 0 {
-			cfg.DiscoveryProgress(i+1, totalSteps)
-		}
-		if cfg.DiscoveryStepBudget > 0 && totalSteps >= cfg.DiscoveryStepBudget {
-			return nil, i + 1, fmt.Errorf("gist: discovery step budget %d exhausted after %d runs", cfg.DiscoveryStepBudget, i+1)
+		for j, out := range outs {
+			i := base + j
+			totalSteps += out.Steps
+			if out.Failed {
+				return out.Report, i + 1, nil
+			}
+			if cfg.DiscoveryProgress != nil && (i+1)%cfg.DiscoveryProgressEvery == 0 {
+				cfg.DiscoveryProgress(i+1, totalSteps)
+			}
+			if cfg.DiscoveryStepBudget > 0 && totalSteps >= cfg.DiscoveryStepBudget {
+				return nil, i + 1, fmt.Errorf("gist: discovery step budget %d exhausted after %d runs", cfg.DiscoveryStepBudget, i+1)
+			}
 		}
 	}
 	return nil, cfg.MaxDiscoveryRuns, fmt.Errorf("gist: no failure in %d discovery runs", cfg.MaxDiscoveryRuns)
@@ -238,12 +266,12 @@ func Run(cfg Config) (*Result, error) {
 func RunFromReport(cfg Config, report *vm.FailureReport, discRuns int) (*Result, error) {
 	cfg = cfg.withDefaults()
 	g := cfg.BuildGraph()
-	sl := slicer.Compute(g, report.InstrID)
+	sl := analysis.Slice(cfg.Prog, report.InstrID)
 	// Deadlock reports carry the other blocked threads' PCs (a crash dump
 	// has every thread's stack): slice from each cycle participant and
 	// merge, so the sketch shows the whole inversion.
 	for _, pc := range report.OtherPCs {
-		for _, id := range slicer.Compute(g, pc).Discovery {
+		for _, id := range analysis.Slice(cfg.Prog, pc).Discovery {
 			sl.Add(id)
 		}
 	}
@@ -283,32 +311,39 @@ func RunFromReport(cfg Config, report *vm.FailureReport, discRuns int) (*Result,
 		var health FleetHealth
 		var lostEndpoints []int
 		iterStart := len(overheads)
-		// dispatch runs one production run at endpoint e and admits its
-		// report: crashed and deadline-missing endpoints are recorded for
-		// the retry pass, arriving reports pass server-side validation,
-		// and undecodable traces are quarantined away from predictor
-		// extraction while keeping their outcome.
-		dispatch := func(e int) {
-			spec := RunSpec{
-				EndpointID:  e,
-				Seed:        seed,
-				Workload:    cfg.workloadFor(e),
-				PreemptMean: cfg.PreemptMean,
-				MaxSteps:    cfg.MaxSteps,
+		// makeJob binds one production run's identity — endpoint, seed,
+		// workload, fault decision — at dispatch time, before the worker
+		// pool touches it, so parallel execution cannot perturb the
+		// seed-to-run mapping.
+		makeJob := func(e int, s int64) fleetJob {
+			return fleetJob{
+				spec: RunSpec{
+					EndpointID:  e,
+					Seed:        s,
+					Workload:    cfg.workloadFor(e),
+					PreemptMean: cfg.PreemptMean,
+					MaxSteps:    cfg.MaxSteps,
+				},
+				dec: inj.ForRun(e, s),
 			}
-			dec := inj.ForRun(e, seed)
-			seed++
+		}
+		// admit applies the server's admission logic to one arrived
+		// report, strictly in dispatch order: crashed and
+		// deadline-missing endpoints are recorded for the retry pass,
+		// arriving reports pass server-side validation, and undecodable
+		// traces are quarantined away from predictor extraction while
+		// keeping their outcome.
+		admit := func(spec RunSpec, rt *RunTrace) {
 			health.Dispatched++
 			res.TotalRuns++
-			rt := RunInstrumentedFaults(plan, spec, dec)
 			if rt == nil {
 				health.Lost++
-				lostEndpoints = append(lostEndpoints, e)
+				lostEndpoints = append(lostEndpoints, spec.EndpointID)
 				return
 			}
 			if rt.Late || (cfg.RunDeadlineSteps > 0 && rt.Outcome != nil && rt.Outcome.Steps > cfg.RunDeadlineSteps) {
 				health.Deadlined++
-				lostEndpoints = append(lostEndpoints, e)
+				lostEndpoints = append(lostEndpoints, spec.EndpointID)
 				return
 			}
 			quarantine, repaired := validateTrace(rt, len(cfg.Prog.Instrs))
@@ -347,22 +382,52 @@ func RunFromReport(cfg Config, report *vm.FailureReport, discRuns int) (*Result,
 			return len(failing) < cfg.FailuresPerIter || len(successful) < cfg.MinSuccesses
 		}
 		budget := cfg.MaxBatches * cfg.Endpoints
-		for i := 0; i < budget && need(); i++ {
-			dispatch(i % cfg.Endpoints)
+		chunk := fleetChunk(cfg.Workers)
+		// The fleet executes speculative chunks concurrently while the
+		// server admits reports strictly in dispatch order, stopping at
+		// exactly the run where a serial fleet would have stopped;
+		// speculated runs past that point are discarded unconsumed and
+		// their seeds are never burned.
+		for done := 0; done < budget && need(); {
+			n := chunk
+			if done+n > budget {
+				n = budget - done
+			}
+			jobs := make([]fleetJob, n)
+			for j := range jobs {
+				jobs[j] = makeJob((done+j)%cfg.Endpoints, seed+int64(j))
+			}
+			results := runFleet(plan, jobs, cfg.Workers)
+			for j, rt := range results {
+				if !need() {
+					break
+				}
+				admit(jobs[j].spec, rt)
+				seed++
+				done++
+			}
 		}
 		// Lost and deadlined endpoints get their batches retried with
 		// capped exponential backoff: each retry pass costs backoff
 		// simulated batch delays, then re-seeds a replacement run per
-		// missing endpoint.
+		// missing endpoint. A retry batch always runs to completion
+		// (need() gates passes, not batch members), so the whole batch
+		// fans out across the pool at once.
 		backoff := 1
 		for retry := 0; retry < cfg.MaxRetries && len(lostEndpoints) > 0 && need(); retry++ {
 			health.Retries++
 			health.BackoffBatches += backoff
 			batch := lostEndpoints
 			lostEndpoints = nil
-			for _, e := range batch {
+			jobs := make([]fleetJob, len(batch))
+			for j, e := range batch {
+				jobs[j] = makeJob(e, seed+int64(j))
+			}
+			results := runFleet(plan, jobs, cfg.Workers)
+			for j, rt := range results {
 				health.Reseeded++
-				dispatch(e)
+				admit(jobs[j].spec, rt)
+				seed++
 			}
 			if backoff < 8 {
 				backoff *= 2
@@ -458,8 +523,10 @@ func RunFromReport(cfg Config, report *vm.FailureReport, discRuns int) (*Result,
 	return res, nil
 }
 
-// BuildGraph constructs (or returns) the TICFG for the configured program.
-func (c Config) BuildGraph() *cfg.TICFG { return cfg.BuildTICFG(c.Prog) }
+// BuildGraph returns the TICFG for the configured program, constructing
+// it on first use and returning the process-wide memoized graph after
+// that (the graph is read-only once built, so sharing is safe).
+func (c Config) BuildGraph() *cfg.TICFG { return analysis.Graph(c.Prog) }
 
 // betterBasis prefers a failing run with a clean decode over one whose
 // trace had to be quarantined, then the run with the larger trap log

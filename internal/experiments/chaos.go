@@ -46,6 +46,7 @@ type ChaosRow struct {
 func DiagnoseFaulty(b *bugs.Bug, rate float64, seed int64) (*core.Result, error) {
 	cfg := b.GistConfig()
 	cfg.Features = core.AllFeatures()
+	cfg.Workers = Workers
 	cfg.StopWhen = DeveloperOracle(b)
 	cfg.Faults = faults.Composite(seed, rate)
 	return core.Run(cfg)
@@ -68,7 +69,7 @@ func Chaos(suite []*bugs.Bug, rates []float64) []ChaosRow {
 	}
 	var rows []ChaosRow
 	for _, rate := range rates {
-		for _, b := range suite {
+		batch, _ := forEachBug(suite, func(b *bugs.Bug) (ChaosRow, error) {
 			row := ChaosRow{Bug: b.Name, Rate: rate}
 			res, err := DiagnoseFaulty(b, rate, ChaosSeed)
 			row.Err = err != nil
@@ -81,8 +82,9 @@ func Chaos(suite []*bugs.Bug, rates []float64) []ChaosRow {
 					row.LowConfidence = res.Sketch.LowConfidence
 				}
 			}
-			rows = append(rows, row)
-		}
+			return row, nil
+		})
+		rows = append(rows, batch...)
 	}
 	return rows
 }

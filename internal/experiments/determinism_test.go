@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+)
+
+// TestWorkersDeterminism is the repo's end-to-end determinism contract:
+// a diagnosis at 8 fleet workers must be byte-identical to the serial
+// one — sketches, predictor rankings, slice contents, per-iteration
+// stats, and FleetHealth — on every printed-sketch bug, both with a
+// reliable fleet and under 10% composite fault injection. CI runs this
+// under -race at GOMAXPROCS=1 and at the default.
+func TestWorkersDeterminism(t *testing.T) {
+	for _, name := range []string{"pbzip2", "curl", "apache-3"} {
+		for _, rate := range []float64{0, 0.10} {
+			t.Run(fmt.Sprintf("%s/rate=%.2f", name, rate), func(t *testing.T) {
+				serial := diagnosisFingerprint(t, name, rate, 1)
+				wide := diagnosisFingerprint(t, name, rate, 8)
+				if wide != serial {
+					t.Fatalf("workers=8 diverged from serial:\n--- serial ---\n%s\n--- workers=8 ---\n%s", serial, wide)
+				}
+			})
+		}
+	}
+}
+
+func diagnosisFingerprint(t *testing.T, name string, rate float64, workers int) string {
+	t.Helper()
+	b := Suite(name)[0]
+	cfg := b.GistConfig()
+	cfg.Features = core.AllFeatures()
+	cfg.Workers = workers
+	cfg.StopWhen = DeveloperOracle(b)
+	if rate > 0 {
+		cfg.Faults = faults.Composite(ChaosSeed, rate)
+	}
+	res, err := core.Run(cfg)
+	if err != nil {
+		t.Fatalf("%s rate=%.2f workers=%d: %v", name, rate, workers, err)
+	}
+	fp := fmt.Sprintf("disc=%d total=%d rec=%d ov=%.6f\nhealth=%s\n",
+		res.DiscoveryRuns, res.TotalRuns, res.FailureRecurrences,
+		res.AvgOverheadPct, res.Health)
+	for _, it := range res.Iters {
+		fp += fmt.Sprintf("%+v\n", it)
+	}
+	fp += fmt.Sprintf("slice=%v\n", res.Slice.IDs)
+	fp += res.Sketch.Render()
+	for _, r := range res.Sketch.AllRanked {
+		fp += fmt.Sprintf("%+v\n", r)
+	}
+	return fp
+}

@@ -17,19 +17,91 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/bugs"
-	"repro/internal/cfg"
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/hw/pt"
 	"repro/internal/ir"
 	"repro/internal/replay"
-	"repro/internal/slicer"
 	"repro/internal/stats"
 	"repro/internal/vm"
 )
+
+// Workers is the fan-out width of the per-bug experiment drivers and
+// the fleet width handed to every diagnosis they launch
+// (core.Config.Workers). 0 means GOMAXPROCS. gist-bench's -workers
+// flag sets it; diagnoses are byte-identical for any value, so the
+// knob trades only wall-clock time.
+var Workers int
+
+func experimentWorkers() int {
+	if Workers > 0 {
+		return Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// fanOut evaluates f(0..n-1) on up to `workers` goroutines, results in
+// index order — the experiments-side twin of core's fleet pool, used to
+// spread suite sweeps across bugs.
+func fanOut[T any](n, workers int, f func(int) T) []T {
+	out := make([]T, n)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = f(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = f(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// forEachBug evaluates fn on every bug of the suite concurrently while
+// keeping results in suite order. Error semantics match the historical
+// serial drivers: the rows of every bug before the first failing one
+// (in suite order) are returned together with that bug's error.
+func forEachBug[T any](suite []*bugs.Bug, fn func(*bugs.Bug) (T, error)) ([]T, error) {
+	type outcome struct {
+		row T
+		err error
+	}
+	results := fanOut(len(suite), experimentWorkers(), func(i int) outcome {
+		row, err := fn(suite[i])
+		return outcome{row, err}
+	})
+	rows := make([]T, 0, len(suite))
+	for _, r := range results {
+		if r.err != nil {
+			return rows, r.err
+		}
+		rows = append(rows, r.row)
+	}
+	return rows, nil
+}
 
 // Suite returns the bugs to evaluate: all 11 by default, or the named
 // subset.
@@ -77,6 +149,7 @@ func Diagnose(b *bugs.Bug, feats core.Features, sigma0 int) (*core.Result, error
 	cfg := b.GistConfig()
 	cfg.Features = feats
 	cfg.Sigma0 = sigma0
+	cfg.Workers = Workers
 	cfg.StopWhen = DeveloperOracle(b)
 	return core.Run(cfg)
 }
@@ -110,20 +183,19 @@ type Table1Row struct {
 	DiagnosisTime time.Duration
 }
 
-// Table1 regenerates Table 1 for the given bugs (nil = all).
+// Table1 regenerates Table 1 for the given bugs (nil = all), fanning
+// the per-bug diagnoses out across the experiment worker pool.
 func Table1(suite []*bugs.Bug) ([]Table1Row, error) {
 	if suite == nil {
 		suite = bugs.All()
 	}
-	var rows []Table1Row
-	for _, b := range suite {
+	return forEachBug(suite, func(b *bugs.Bug) (Table1Row, error) {
 		row, err := table1Row(b)
 		if err != nil {
-			return rows, fmt.Errorf("%s: %w", b.Name, err)
+			return row, fmt.Errorf("%s: %w", b.Name, err)
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 func table1Row(b *bugs.Bug) (Table1Row, error) {
@@ -132,15 +204,18 @@ func table1Row(b *bugs.Bug) (Table1Row, error) {
 		BugID: b.BugID, RealLOC: b.RealLOC,
 	}
 	gcfg := b.GistConfig()
+	gcfg.Workers = Workers
 
 	// Offline analysis: what the Gist server does before instrumenting.
+	// The artifacts are memoized process-wide, so the first diagnosis of
+	// a program pays the build and later sweeps measure the cache hit.
 	report, disc, err := core.FirstFailure(gcfg)
 	if err != nil {
 		return row, err
 	}
 	t0 := time.Now()
-	g := cfg.BuildTICFG(b.Program())
-	sl := slicer.Compute(g, report.InstrID)
+	g := analysis.Graph(b.Program())
+	sl := analysis.Slice(b.Program(), report.InstrID)
 	core.BuildPlan(g, sl.Window(2), core.AllFeatures())
 	row.AnalysisTime = time.Since(t0)
 	row.SliceLOC = sl.LineCount()
@@ -193,16 +268,14 @@ func Fig9(suite []*bugs.Bug) ([]Fig9Row, error) {
 	if suite == nil {
 		suite = bugs.All()
 	}
-	var rows []Fig9Row
-	for _, b := range suite {
+	return forEachBug(suite, func(b *bugs.Bug) (Fig9Row, error) {
 		res, err := Diagnose(b, core.AllFeatures(), 0)
 		if err != nil {
-			return rows, fmt.Errorf("%s: %w", b.Name, err)
+			return Fig9Row{}, fmt.Errorf("%s: %w", b.Name, err)
 		}
 		rel, ord, overall := res.Sketch.Accuracy(b.Ideal())
-		rows = append(rows, Fig9Row{Bug: b.Name, Relevance: rel, Ordering: ord, Overall: overall})
-	}
-	return rows, nil
+		return Fig9Row{Bug: b.Name, Relevance: rel, Ordering: ord, Overall: overall}, nil
+	})
 }
 
 // Fig9Averages returns the mean relevance/ordering/overall accuracy.
@@ -237,8 +310,7 @@ func Fig10(suite []*bugs.Bug) ([]Fig10Row, error) {
 		{Static: true, ControlFlow: true},
 		{Static: true, ControlFlow: true, DataFlow: true},
 	}
-	var rows []Fig10Row
-	for _, b := range suite {
+	return forEachBug(suite, func(b *bugs.Bug) (Fig10Row, error) {
 		var acc [3]float64
 		for i, f := range confs {
 			res, err := Diagnose(b, f, 0)
@@ -246,15 +318,14 @@ func Fig10(suite []*bugs.Bug) ([]Fig10Row, error) {
 				// Without data flow some bugs cannot converge to the
 				// oracle; use whatever sketch the run ended with.
 				if res == nil || res.Sketch == nil {
-					return rows, fmt.Errorf("%s (features %+v): %w", b.Name, f, err)
+					return Fig10Row{}, fmt.Errorf("%s (features %+v): %w", b.Name, f, err)
 				}
 			}
 			_, _, overall := res.Sketch.Accuracy(b.Ideal())
 			acc[i] = overall
 		}
-		rows = append(rows, Fig10Row{Bug: b.Name, StaticOnly: acc[0], PlusCF: acc[1], PlusDF: acc[2]})
-	}
-	return rows, nil
+		return Fig10Row{Bug: b.Name, StaticOnly: acc[0], PlusCF: acc[1], PlusDF: acc[2]}, nil
+	})
 }
 
 // ------------------------------------------------------------- Fig 11
@@ -282,16 +353,20 @@ func Fig11(suite []*bugs.Bug, sizes []int, runsPerPoint int) ([]Fig11Point, erro
 	var points []Fig11Point
 	for _, size := range sizes {
 		pt := Fig11Point{SliceSize: size, PerBug: make(map[string]float64)}
-		var all []float64
-		for _, b := range suite {
+		ovs, err := forEachBug(suite, func(b *bugs.Bug) (float64, error) {
 			ov, err := windowOverhead(b, size, runsPerPoint)
 			if err != nil {
-				return points, fmt.Errorf("%s size %d: %w", b.Name, size, err)
+				return 0, fmt.Errorf("%s size %d: %w", b.Name, size, err)
 			}
-			pt.PerBug[b.Name] = ov
-			all = append(all, ov)
+			return ov, nil
+		})
+		if err != nil {
+			return points, err
 		}
-		pt.AvgOverheadPct = stats.Mean(all)
+		for i, b := range suite {
+			pt.PerBug[b.Name] = ovs[i]
+		}
+		pt.AvgOverheadPct = stats.Mean(ovs)
 		points = append(points, pt)
 	}
 	return points, nil
@@ -301,12 +376,13 @@ func Fig11(suite []*bugs.Bug, sizes []int, runsPerPoint int) ([]Fig11Point, erro
 // `size` statements of the bug's slice.
 func windowOverhead(b *bugs.Bug, size, runs int) (float64, error) {
 	gcfg := b.GistConfig()
+	gcfg.Workers = Workers
 	report, _, err := core.FirstFailure(gcfg)
 	if err != nil {
 		return 0, err
 	}
-	g := cfg.BuildTICFG(b.Program())
-	sl := slicer.Compute(g, report.InstrID)
+	g := analysis.Graph(b.Program())
+	sl := analysis.Slice(b.Program(), report.InstrID)
 	plan := core.BuildPlan(g, sl.Window(size), core.AllFeatures())
 	var ovs []float64
 	pm := b.PreemptMean
@@ -354,15 +430,22 @@ func Fig12(suite []*bugs.Bug, sigmas []int) ([]Fig12Row, error) {
 	}
 	var rows []Fig12Row
 	for _, s0 := range sigmas {
-		var accs, lats []float64
-		for _, b := range suite {
+		type cell struct{ acc, lat float64 }
+		cells, err := forEachBug(suite, func(b *bugs.Bug) (cell, error) {
 			res, err := Diagnose(b, core.AllFeatures(), s0)
 			if err != nil {
-				return rows, fmt.Errorf("%s sigma0=%d: %w", b.Name, s0, err)
+				return cell{}, fmt.Errorf("%s sigma0=%d: %w", b.Name, s0, err)
 			}
 			_, _, overall := res.Sketch.Accuracy(b.Ideal())
-			accs = append(accs, overall)
-			lats = append(lats, float64(res.FailureRecurrences))
+			return cell{acc: overall, lat: float64(res.FailureRecurrences)}, nil
+		})
+		if err != nil {
+			return rows, err
+		}
+		var accs, lats []float64
+		for _, c := range cells {
+			accs = append(accs, c.acc)
+			lats = append(lats, c.lat)
 		}
 		rows = append(rows, Fig12Row{Sigma0: s0, AvgAccuracy: stats.Mean(accs), AvgLatency: stats.Mean(lats)})
 	}
@@ -389,17 +472,15 @@ func Fig13(suite []*bugs.Bug, runsPerBug int) ([]Fig13Row, error) {
 	if runsPerBug == 0 {
 		runsPerBug = 10
 	}
-	var rows []Fig13Row
-	for _, b := range suite {
+	return forEachBug(suite, func(b *bugs.Bug) (Fig13Row, error) {
 		ptPct := fullPTOverhead(b, runsPerBug, pt.Hardware)
 		rrPct := rrOverhead(b, runsPerBug)
 		row := Fig13Row{Bug: b.Name, IntelPTPct: ptPct, MozillaRRPct: rrPct}
 		if ptPct > 0 {
 			row.Ratio = rrPct / ptPct
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // SWPTRow is the §4 comparison: hardware PT vs. a software (PIN-style)
@@ -419,16 +500,15 @@ func SoftwarePT(suite []*bugs.Bug, runsPerBug int) []SWPTRow {
 	if runsPerBug == 0 {
 		runsPerBug = 8
 	}
-	var rows []SWPTRow
-	for _, b := range suite {
+	rows, _ := forEachBug(suite, func(b *bugs.Bug) (SWPTRow, error) {
 		hw := fullPTOverhead(b, runsPerBug, pt.Hardware)
 		sw := fullPTOverhead(b, runsPerBug, pt.Software)
 		row := SWPTRow{Bug: b.Name, HardwarePct: hw, SoftwarePct: sw}
 		if hw > 0 {
 			row.SlowdownVsHWOnce = sw / hw
 		}
-		rows = append(rows, row)
-	}
+		return row, nil
+	})
 	return rows
 }
 
@@ -506,8 +586,7 @@ func Breakdown(suite []*bugs.Bug, runsPerBug int) ([]BreakdownRow, error) {
 	if runsPerBug == 0 {
 		runsPerBug = 12
 	}
-	var rows []BreakdownRow
-	for _, b := range suite {
+	return forEachBug(suite, func(b *bugs.Bug) (BreakdownRow, error) {
 		row := BreakdownRow{Bug: b.Name}
 		var err error
 		for _, c := range []struct {
@@ -520,22 +599,22 @@ func Breakdown(suite []*bugs.Bug, runsPerBug int) ([]BreakdownRow, error) {
 		} {
 			*c.dst, err = featureOverhead(b, c.feats, runsPerBug)
 			if err != nil {
-				return rows, fmt.Errorf("%s: %w", b.Name, err)
+				return row, fmt.Errorf("%s: %w", b.Name, err)
 			}
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 func featureOverhead(b *bugs.Bug, feats core.Features, runs int) (float64, error) {
 	gcfg := b.GistConfig()
+	gcfg.Workers = Workers
 	report, _, err := core.FirstFailure(gcfg)
 	if err != nil {
 		return 0, err
 	}
-	g := cfg.BuildTICFG(b.Program())
-	sl := slicer.Compute(g, report.InstrID)
+	g := analysis.Graph(b.Program())
+	sl := analysis.Slice(b.Program(), report.InstrID)
 	plan := core.BuildPlan(g, sl.Window(2), feats)
 	pm := b.PreemptMean
 	if pm == 0 {
@@ -570,25 +649,23 @@ func ExtendedPT(suite []*bugs.Bug) ([]ExtPTRow, error) {
 	if suite == nil {
 		suite = bugs.All()
 	}
-	var rows []ExtPTRow
-	for _, b := range suite {
+	return forEachBug(suite, func(b *bugs.Bug) (ExtPTRow, error) {
 		wp, err := Diagnose(b, core.AllFeatures(), 0)
 		if err != nil {
-			return rows, fmt.Errorf("%s (watchpoints): %w", b.Name, err)
+			return ExtPTRow{}, fmt.Errorf("%s (watchpoints): %w", b.Name, err)
 		}
 		ext, err := Diagnose(b, core.Features{Static: true, ControlFlow: true, DataFlow: true, ExtendedPT: true}, 0)
 		if err != nil {
-			return rows, fmt.Errorf("%s (extended PT): %w", b.Name, err)
+			return ExtPTRow{}, fmt.Errorf("%s (extended PT): %w", b.Name, err)
 		}
 		_, _, wpAcc := wp.Sketch.Accuracy(b.Ideal())
 		_, _, extAcc := ext.Sketch.Accuracy(b.Ideal())
-		rows = append(rows, ExtPTRow{
+		return ExtPTRow{
 			Bug:        b.Name,
 			WPOverhead: wp.AvgOverheadPct, WPAccuracy: wpAcc,
 			ExtOverhead: ext.AvgOverheadPct, ExtAccuracy: extAcc,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // ------------------------------------------------------------- sketches

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/bugs"
+	"repro/internal/core"
+)
+
+// The perf experiment measures the two parallel layers this repo adds on
+// top of the paper's pipeline: the fleet worker pool inside one
+// diagnosis (core.Config.Workers) and the per-bug fan-out across a
+// suite sweep (fanOut). Both layers are byte-identical for any worker
+// count, so this experiment reports wall-clock only; correctness is the
+// determinism test's job.
+
+// PerfBugRow is one bug's scaling series. Slices are aligned with
+// PerfResult.Workers: WallMS[i] is the diagnosis wall time at
+// Workers[i] fleet workers.
+type PerfBugRow struct {
+	Bug        string    `json:"bug"`
+	TotalRuns  int       `json:"total_runs"`
+	WallMS     []float64 `json:"wall_ms"`
+	RunsPerSec []float64 `json:"runs_per_sec"`
+	// Speedup is WallMS[0] / WallMS[i]; the first entry of Workers is
+	// always 1, so Speedup[i] is vs. the serial fleet.
+	Speedup []float64 `json:"speedup"`
+}
+
+// PerfResult is the full perf experiment, serialized to
+// BENCH_fleet.json by -json.
+type PerfResult struct {
+	Experiment string `json:"experiment"`
+	// GoMaxProcs is runtime.GOMAXPROCS at measurement time. Speedups
+	// are bounded by it: on a 1-CPU host every worker count runs at
+	// roughly serial speed and Speedup stays near 1.
+	GoMaxProcs int   `json:"gomaxprocs"`
+	Workers    []int `json:"workers"`
+	// Bugs scales the fleet pool inside one diagnosis (bugs measured
+	// serially, Config.Workers = w).
+	Bugs []PerfBugRow `json:"bugs"`
+	// Sweep* scale the per-bug fan-out across the whole suite (fan-out
+	// width w, each diagnosis with a serial fleet).
+	SweepWallMS  []float64 `json:"sweep_wall_ms"`
+	SweepSpeedup []float64 `json:"sweep_speedup"`
+	// Cache is the analysis-cache counter snapshot after each worker
+	// pass (the cache is reset before each pass, so hits within a pass
+	// are hits the memoization earned, not leftovers).
+	Cache []analysis.Stats `json:"analysis_cache"`
+}
+
+func perfDiagnose(b *bugs.Bug, fleetWorkers int) (*core.Result, error) {
+	cfg := b.GistConfig()
+	cfg.Features = core.AllFeatures()
+	cfg.Workers = fleetWorkers
+	cfg.StopWhen = DeveloperOracle(b)
+	return core.Run(cfg)
+}
+
+// Perf runs the scaling experiment over the given worker counts
+// (nil = {1, 2, 4, 8}). The first measured count is always 1, the
+// serial baseline every speedup is relative to.
+func Perf(suite []*bugs.Bug, workersList []int) (*PerfResult, error) {
+	if suite == nil {
+		suite = bugs.All()
+	}
+	if len(workersList) == 0 {
+		workersList = []int{1, 2, 4, 8}
+	}
+	if workersList[0] != 1 {
+		workersList = append([]int{1}, workersList...)
+	}
+
+	res := &PerfResult{
+		Experiment: "perf",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Workers:    workersList,
+	}
+	res.Bugs = make([]PerfBugRow, len(suite))
+	for i, b := range suite {
+		res.Bugs[i].Bug = b.Name
+	}
+
+	for _, w := range workersList {
+		// Cold cache per pass so every pass pays (and then amortizes)
+		// the same static-analysis work.
+		analysis.Reset()
+
+		// Layer 1: fleet pool inside one diagnosis.
+		for i, b := range suite {
+			t0 := time.Now()
+			r, err := perfDiagnose(b, w)
+			if err != nil {
+				return res, fmt.Errorf("%s workers=%d: %w", b.Name, w, err)
+			}
+			wall := time.Since(t0)
+			ms := float64(wall.Microseconds()) / 1e3
+			row := &res.Bugs[i]
+			row.TotalRuns = r.TotalRuns + r.DiscoveryRuns
+			row.WallMS = append(row.WallMS, ms)
+			row.RunsPerSec = append(row.RunsPerSec, float64(row.TotalRuns)/wall.Seconds())
+			row.Speedup = append(row.Speedup, row.WallMS[0]/ms)
+		}
+
+		// Layer 2: per-bug fan-out across the sweep, serial fleets.
+		t0 := time.Now()
+		outs := fanOut(len(suite), w, func(i int) error {
+			_, err := perfDiagnose(suite[i], 1)
+			return err
+		})
+		for i, err := range outs {
+			if err != nil {
+				return res, fmt.Errorf("sweep %s workers=%d: %w", suite[i].Name, w, err)
+			}
+		}
+		ms := float64(time.Since(t0).Microseconds()) / 1e3
+		res.SweepWallMS = append(res.SweepWallMS, ms)
+		res.SweepSpeedup = append(res.SweepSpeedup, res.SweepWallMS[0]/ms)
+		res.Cache = append(res.Cache, analysis.Snapshot())
+	}
+	return res, nil
+}
+
+// WriteJSON serializes the result (indented, trailing newline) to path.
+func (r *PerfResult) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -144,6 +144,43 @@ func RenderChaos(rows []ChaosRow) string {
 	return b.String()
 }
 
+// RenderPerf renders the fleet-scaling experiment.
+func RenderPerf(r *PerfResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Perf: wall-clock scaling of the parallel fleet (GOMAXPROCS=%d; results byte-identical at every width)\n\n", r.GoMaxProcs)
+	fmt.Fprintf(&b, "%-13s %6s", "Bug", "runs")
+	for _, w := range r.Workers {
+		fmt.Fprintf(&b, " %8s", fmt.Sprintf("w=%d", w))
+	}
+	b.WriteString("  (ms per diagnosis, speedup vs w=1)\n")
+	for _, row := range r.Bugs {
+		fmt.Fprintf(&b, "%-13s %6d", row.Bug, row.TotalRuns)
+		for i := range r.Workers {
+			fmt.Fprintf(&b, " %8.0f", row.WallMS[i])
+		}
+		b.WriteString("  ")
+		for i := range r.Workers {
+			fmt.Fprintf(&b, " %5.2fx", row.Speedup[i])
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-20s", "suite sweep")
+	for i := range r.Workers {
+		fmt.Fprintf(&b, " %8.0f", r.SweepWallMS[i])
+	}
+	b.WriteString("  ")
+	for i := range r.Workers {
+		fmt.Fprintf(&b, " %5.2fx", r.SweepSpeedup[i])
+	}
+	b.WriteByte('\n')
+	if n := len(r.Cache); n > 0 {
+		c := r.Cache[n-1]
+		fmt.Fprintf(&b, "\nanalysis cache (last pass): %d graph builds / %d hits, %d slice builds / %d hits\n",
+			c.GraphBuilds, c.GraphHits, c.SliceBuilds, c.SliceHits)
+	}
+	return b.String()
+}
+
 // RenderSWPT renders the §4 hardware-vs-software tracing comparison.
 func RenderSWPT(rows []SWPTRow) string {
 	var b strings.Builder

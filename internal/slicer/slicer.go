@@ -89,6 +89,23 @@ func (s *Slice) Window(sigma int) []int {
 	return ids
 }
 
+// Clone returns an independent copy of the slice. The analysis cache
+// hands out clones because refinement (§3.2.3) mutates the slice a
+// diagnosis works on, and the memoized master must stay pristine.
+func (s *Slice) Clone() *Slice {
+	c := &Slice{
+		Prog:      s.Prog,
+		FailingID: s.FailingID,
+		IDs:       append([]int(nil), s.IDs...),
+		Discovery: append([]int(nil), s.Discovery...),
+		member:    make(map[int]bool, len(s.member)),
+	}
+	for id := range s.member {
+		c.member[id] = true
+	}
+	return c
+}
+
 // Add inserts an instruction discovered at runtime (refinement, §3.2.3)
 // into the slice. It reports whether the instruction was new.
 func (s *Slice) Add(id int) bool {
