@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/bugs"
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -26,9 +27,65 @@ func main() {
 		runs     = flag.Int("runs", 0, "runs per measurement point (0 = experiment default)")
 		workers  = flag.Int("workers", 0, "fan-out width for suite sweeps and the fleet inside each diagnosis (0 = GOMAXPROCS); results are byte-identical for any value")
 		jsonPath = flag.String("json", "", "with -exp perf: write the scaling results to this JSON file (e.g. BENCH_fleet.json)")
+
+		traceOut    = flag.String("trace-out", "", "write a JSONL phase-span event log to this file")
+		metricsJSON = flag.String("metrics-json", "", "write a metrics snapshot to this file on exit")
+		validate    = flag.String("validate", "", "validate an existing perf BENCH JSON file against the observability schema, then exit")
 	)
 	flag.Parse()
+
+	fatalf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "gist-bench: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	if *workers < 0 {
+		fatalf("-workers %d is negative (0 means GOMAXPROCS)", *workers)
+	}
+	if *runs < 0 {
+		fatalf("-runs %d is negative (0 means experiment default)", *runs)
+	}
+
+	if *validate != "" {
+		data, err := os.ReadFile(*validate)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := experiments.ValidateBenchJSON(data); err != nil {
+			fmt.Fprintf(os.Stderr, "gist-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: ok\n", *validate)
+		return
+	}
+
 	experiments.Workers = *workers
+
+	// Telemetry observes the experiments; results are byte-identical
+	// with or without it. The perf experiment manages its own per-pass
+	// tracers and ignores this hook.
+	var tel *telemetry.Tracer
+	if *traceOut != "" {
+		t, closeTrace, err := telemetry.OpenTrace(*traceOut)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		tel = t
+		defer func() {
+			if err := closeTrace(); err != nil {
+				fmt.Fprintf(os.Stderr, "gist-bench: trace-out: %v\n", err)
+			}
+		}()
+	} else if *metricsJSON != "" {
+		tel = telemetry.New()
+	}
+	experiments.Telemetry = tel
+	if *metricsJSON != "" {
+		defer func() {
+			if err := tel.WriteMetricsJSON(*metricsJSON); err != nil {
+				fmt.Fprintf(os.Stderr, "gist-bench: metrics-json: %v\n", err)
+			}
+		}()
+	}
 
 	suite := bugs.All()
 	if *bugList != "" {
@@ -142,7 +199,9 @@ func main() {
 	// when asked for by name, not as part of "all".
 	if *exp == "perf" {
 		wl := []int{1, 2, 4, 8}
-		if *workers > 0 {
+		if *workers == 1 {
+			wl = []int{1}
+		} else if *workers > 0 {
 			wl = []int{1, *workers}
 		}
 		fmt.Printf("==== perf ====\n\n")

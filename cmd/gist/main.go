@@ -12,13 +12,17 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/bugs"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/faults"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -35,8 +39,31 @@ func main() {
 		faultRate = flag.Float64("fault-rate", 0, "composite fleet fault rate in [0,1] spread across all fault classes (0 = reliable fleet)")
 		faultSeed = flag.Int64("fault-seed", 1, "fault-injector seed (diagnoses are deterministic per seed)")
 		deadline  = flag.Int64("run-deadline", 0, "per-run step deadline applied by the server (0 = off)")
+
+		traceOut    = flag.String("trace-out", "", "write a JSONL phase-span event log to this file")
+		metricsJSON = flag.String("metrics-json", "", "write a metrics snapshot (phases, counters, runtime stats) to this file on exit")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060) and sample runtime stats periodically")
 	)
 	flag.Parse()
+
+	// Out-of-range flags used to flow unvalidated into the fault
+	// injector and the worker pool; reject them before any work starts.
+	fatalf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "gist: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	if *faultRate < 0 || *faultRate > 1 {
+		fatalf("-fault-rate %g outside [0,1]", *faultRate)
+	}
+	if *workers < 0 {
+		fatalf("-workers %d is negative (0 means GOMAXPROCS)", *workers)
+	}
+	if *sigma0 < 1 {
+		fatalf("-sigma0 %d must be at least 1", *sigma0)
+	}
+	if *deadline < 0 {
+		fatalf("-run-deadline %d is negative (0 means off)", *deadline)
+	}
 
 	if *list {
 		fmt.Println("bug            software      class")
@@ -64,7 +91,47 @@ func main() {
 	}
 	cfg.RunDeadlineSteps = *deadline
 
+	// Telemetry observes the pipeline; the diagnosis is byte-identical
+	// with or without it.
+	var tel *telemetry.Tracer
+	if *traceOut != "" {
+		t, closeTrace, err := telemetry.OpenTrace(*traceOut)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		tel = t
+		defer func() {
+			if err := closeTrace(); err != nil {
+				fmt.Fprintf(os.Stderr, "gist: trace-out: %v\n", err)
+			}
+		}()
+	} else if *metricsJSON != "" || *pprofAddr != "" {
+		tel = telemetry.New()
+	}
+	cfg.Telemetry = tel
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "gist: pprof: %v\n", err)
+			}
+		}()
+		stop := tel.StartRuntimeSampler(time.Second)
+		defer stop()
+	}
+	// Flag-gated exit hook, not a defer: the -json path exits through
+	// os.Exit on marshal errors, and the snapshot should land either way.
+	writeMetrics := func() {
+		if *metricsJSON == "" {
+			return
+		}
+		if err := tel.WriteMetricsJSON(*metricsJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "gist: metrics-json: %v\n", err)
+		}
+	}
+
 	res, err := core.Run(cfg)
+	writeMetrics()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gist: %v\n", err)
 		if res == nil || res.Sketch == nil {

@@ -27,6 +27,7 @@ package analysis
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cfg"
 	"repro/internal/ir"
@@ -55,6 +56,11 @@ var (
 
 	graphBuilds, graphHits atomic.Int64
 	sliceBuilds, sliceHits atomic.Int64
+	// Cumulative wall time spent inside cache-miss builds, the number
+	// the telemetry layer reports as the offline static-analysis cost
+	// (§5.3's "analysis time"). Hits cost nothing by design; only
+	// misses accumulate here.
+	graphBuildNS, sliceBuildNS atomic.Int64
 )
 
 // Graph returns the memoized TICFG for p, building it on first use.
@@ -72,7 +78,9 @@ func Graph(p *ir.Program) *cfg.TICFG {
 	e.once.Do(func() {
 		hit = false
 		graphBuilds.Add(1)
+		t0 := time.Now()
 		e.g = cfg.BuildTICFG(p)
+		graphBuildNS.Add(time.Since(t0).Nanoseconds())
 	})
 	if hit {
 		graphHits.Add(1)
@@ -96,7 +104,9 @@ func Slice(p *ir.Program, failingID int) *slicer.Slice {
 	e.once.Do(func() {
 		hit = false
 		sliceBuilds.Add(1)
+		t0 := time.Now()
 		e.sl = slicer.Compute(Graph(p), failingID)
+		sliceBuildNS.Add(time.Since(t0).Nanoseconds())
 	})
 	if hit {
 		sliceHits.Add(1)
@@ -105,19 +115,29 @@ func Slice(p *ir.Program, failingID int) *slicer.Slice {
 }
 
 // Stats is a point-in-time snapshot of cache effectiveness, reported by
-// the perf experiment.
+// the perf experiment and the telemetry metrics snapshot.
+//
+// GraphBuildNS and SliceBuildNS are cumulative wall time spent in
+// cache-miss builds. A slice build that triggers the graph build
+// includes that graph time (the slice cannot exist without it), so the
+// two are not disjoint.
 type Stats struct {
 	GraphBuilds, GraphHits int64
 	SliceBuilds, SliceHits int64
+
+	GraphBuildNS int64
+	SliceBuildNS int64
 }
 
 // Snapshot returns the current cache counters.
 func Snapshot() Stats {
 	return Stats{
-		GraphBuilds: graphBuilds.Load(),
-		GraphHits:   graphHits.Load(),
-		SliceBuilds: sliceBuilds.Load(),
-		SliceHits:   sliceHits.Load(),
+		GraphBuilds:  graphBuilds.Load(),
+		GraphHits:    graphHits.Load(),
+		SliceBuilds:  sliceBuilds.Load(),
+		SliceHits:    sliceHits.Load(),
+		GraphBuildNS: graphBuildNS.Load(),
+		SliceBuildNS: sliceBuildNS.Load(),
 	}
 }
 
@@ -133,4 +153,6 @@ func Reset() {
 	graphHits.Store(0)
 	sliceBuilds.Store(0)
 	sliceHits.Store(0)
+	graphBuildNS.Store(0)
+	sliceBuildNS.Store(0)
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/hw/pt"
 	"repro/internal/hw/watch"
 	"repro/internal/ir"
+	"repro/internal/telemetry"
 	"repro/internal/vm"
 )
 
@@ -187,6 +188,7 @@ func RunInstrumentedFaults(plan *Plan, spec RunSpec, dec faults.Decision) *RunTr
 		}
 	}
 
+	execSpan := plan.Telemetry.StartSpan(telemetry.PhaseRunExec)
 	rt.Outcome = vm.Run(plan.Prog, vm.Config{
 		Seed:        spec.Seed,
 		MaxSteps:    spec.MaxSteps,
@@ -194,8 +196,10 @@ func RunInstrumentedFaults(plan *Plan, spec RunSpec, dec faults.Decision) *RunTr
 		Workload:    spec.Workload,
 		Hooks:       hooks,
 	})
+	execSpan.End()
 
 	if plan.Feats.ControlFlow {
+		decodeSpan := plan.Telemetry.StartSpan(telemetry.PhaseDecode)
 		for _, core := range tracer.Cores() {
 			if tracer.Enabled(core) {
 				tracer.Disable(core, lastTraced[core])
@@ -233,11 +237,14 @@ func RunInstrumentedFaults(plan *Plan, spec RunSpec, dec faults.Decision) *RunTr
 			}
 		}
 		sort.Slice(rt.Traps, func(i, j int) bool { return rt.Traps[i].Clock < rt.Traps[j].Clock })
+		decodeSpan.End()
 	}
+	watchSpan := plan.Telemetry.StartSpan(telemetry.PhaseWatch)
 	if plan.Feats.DataFlow && !plan.Feats.ExtendedPT {
 		rt.Traps = unit.Traps()
 	}
 	rt.applyTransitFaults(dec)
+	watchSpan.End()
 	return rt
 }
 

@@ -9,6 +9,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/slicer"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/vm"
 )
 
@@ -98,6 +99,52 @@ type Config struct {
 	// are admitted in dispatch order, so any worker count produces
 	// byte-identical diagnoses; 0 means GOMAXPROCS.
 	Workers int
+
+	// Telemetry, when non-nil, receives phase spans (discovery, TICFG
+	// build, slicing, planning, fleet collection, ranking, sketch
+	// rendering, and the client-side run/decode/watch phases) plus
+	// fleet and fault counters. Telemetry only observes: the diagnosis
+	// is byte-identical with it nil or set, at any worker width.
+	Telemetry *telemetry.Tracer
+}
+
+// Validate rejects configurations that out-of-range CLI flags (or
+// library callers) could smuggle in: negative worker counts, fault
+// probabilities outside [0,1], negative budgets. Zero values are always
+// valid — they mean "use the default". Run, RunFromReport, and
+// FirstFailure all call this, so every entry point is guarded.
+func (c Config) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    int64
+	}{
+		{"Workers", int64(c.Workers)},
+		{"Sigma0", int64(c.Sigma0)},
+		{"SigmaGrowthAdd", int64(c.SigmaGrowthAdd)},
+		{"MaxSigma", int64(c.MaxSigma)},
+		{"Endpoints", int64(c.Endpoints)},
+		{"MaxBatches", int64(c.MaxBatches)},
+		{"FailuresPerIter", int64(c.FailuresPerIter)},
+		{"MinSuccesses", int64(c.MinSuccesses)},
+		{"MaxIters", int64(c.MaxIters)},
+		{"MaxSteps", c.MaxSteps},
+		{"RunDeadlineSteps", c.RunDeadlineSteps},
+		{"MaxRetries", int64(c.MaxRetries)},
+		{"MinQuorum", int64(c.MinQuorum)},
+		{"MaxDiscoveryRuns", int64(c.MaxDiscoveryRuns)},
+		{"DiscoveryStepBudget", c.DiscoveryStepBudget},
+	} {
+		if f.v < 0 {
+			return fmt.Errorf("gist: config %s = %d is negative", f.name, f.v)
+		}
+	}
+	if c.Beta < 0 {
+		return fmt.Errorf("gist: config Beta = %g is negative", c.Beta)
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return fmt.Errorf("gist: %w", err)
+	}
+	return nil
 }
 
 func (c Config) withDefaults() Config {
@@ -210,7 +257,12 @@ func (c Config) workloadFor(k int) vm.Workload {
 // speculative chunks; outcomes are consumed in seed order, so the
 // report, run count, and budget errors are identical to serial search.
 func FirstFailure(cfg Config) (*vm.FailureReport, int, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, 0, err
+	}
 	cfg = cfg.withDefaults()
+	sp := cfg.Telemetry.StartSpan(telemetry.PhaseDiscovery)
+	defer sp.End()
 	maxSteps := cfg.MaxSteps
 	if cfg.RunDeadlineSteps > 0 && cfg.RunDeadlineSteps < maxSteps {
 		maxSteps = cfg.RunDeadlineSteps
@@ -254,6 +306,9 @@ func FirstFailure(cfg Config) (*vm.FailureReport, int, error) {
 // iteration, until the developer oracle is satisfied or the window covers
 // the whole slice.
 func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	report, discRuns, err := FirstFailure(cfg)
 	if err != nil {
@@ -264,8 +319,15 @@ func Run(cfg Config) (*Result, error) {
 
 // RunFromReport performs the pipeline for a known failure report.
 func RunFromReport(cfg Config, report *vm.FailureReport, discRuns int) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
+	tel := cfg.Telemetry
+	sp := tel.StartSpan(telemetry.PhaseTICFG)
 	g := cfg.BuildGraph()
+	sp.End()
+	sp = tel.StartSpan(telemetry.PhaseSlice)
 	sl := analysis.Slice(cfg.Prog, report.InstrID)
 	// Deadlock reports carry the other blocked threads' PCs (a crash dump
 	// has every thread's stack): slice from each cycle participant and
@@ -275,8 +337,14 @@ func RunFromReport(cfg Config, report *vm.FailureReport, discRuns int) (*Result,
 			sl.Add(id)
 		}
 	}
+	sp.End()
 
 	res := &Result{Slice: sl, Report: report, DiscoveryRuns: discRuns}
+	// The diagnosis-wide FleetHealth aggregate doubles as the telemetry
+	// counter inventory; push it on every exit path so -metrics-json
+	// sees the same numbers the Result carries.
+	tel.SetGauge("fleet.workers", int64(cfg.Workers))
+	defer func() { pushFleetCounters(tel, res.Health) }()
 	var overheads []float64
 	var added []int
 	addedSet := make(map[int]bool)
@@ -301,7 +369,10 @@ func RunFromReport(cfg Config, report *vm.FailureReport, discRuns int) (*Result,
 				window = append(window, id)
 			}
 		}
+		sp = tel.StartSpan(telemetry.PhasePlan)
 		plan := BuildPlan(g, window, cfg.Features)
+		sp.End()
+		plan.Telemetry = tel
 		windowSet := make(map[int]bool, len(window))
 		for _, id := range window {
 			windowSet[id] = true
@@ -333,7 +404,16 @@ func RunFromReport(cfg Config, report *vm.FailureReport, discRuns int) (*Result,
 		// arriving reports pass server-side validation, and undecodable
 		// traces are quarantined away from predictor extraction while
 		// keeping their outcome.
-		admit := func(spec RunSpec, rt *RunTrace) {
+		admit := func(job fleetJob, rt *RunTrace) {
+			spec := job.spec
+			// Fault-class accounting happens here, not at dispatch:
+			// admission order is the part of the pipeline that is
+			// byte-identical at any worker width, so the counters are
+			// width-stable even though speculative chunks over-dispatch.
+			if tel != nil && job.dec.Any() {
+				tel.Add("faults.injected_runs", 1)
+				countFaults(tel, job.dec)
+			}
 			health.Dispatched++
 			res.TotalRuns++
 			if rt == nil {
@@ -381,6 +461,7 @@ func RunFromReport(cfg Config, report *vm.FailureReport, discRuns int) (*Result,
 		need := func() bool {
 			return len(failing) < cfg.FailuresPerIter || len(successful) < cfg.MinSuccesses
 		}
+		fleetSpan := tel.StartSpan(telemetry.PhaseFleet)
 		budget := cfg.MaxBatches * cfg.Endpoints
 		chunk := fleetChunk(cfg.Workers)
 		// The fleet executes speculative chunks concurrently while the
@@ -402,7 +483,7 @@ func RunFromReport(cfg Config, report *vm.FailureReport, discRuns int) (*Result,
 				if !need() {
 					break
 				}
-				admit(jobs[j].spec, rt)
+				admit(jobs[j], rt)
 				seed++
 				done++
 			}
@@ -426,13 +507,14 @@ func RunFromReport(cfg Config, report *vm.FailureReport, discRuns int) (*Result,
 			results := runFleet(plan, jobs, cfg.Workers)
 			for j, rt := range results {
 				health.Reseeded++
-				admit(jobs[j].spec, rt)
+				admit(jobs[j], rt)
 				seed++
 			}
 			if backoff < 8 {
 				backoff *= 2
 			}
 		}
+		fleetSpan.End()
 		if len(failing) == 0 {
 			res.Health.Merge(health)
 			// The failure did not recur under this window's fleet budget;
@@ -479,7 +561,9 @@ func RunFromReport(cfg Config, report *vm.FailureReport, discRuns int) (*Result,
 		if lowConf {
 			health.LowConfidenceIters++
 		}
+		sp = tel.StartSpan(telemetry.PhaseRank)
 		ranked := RankPredictors(cfg.Prog, failing, successful, cfg.Beta)
+		sp.End()
 		// Base the sketch on the best-instrumented failing run: under
 		// cooperative watchpoint partitioning, different failing runs
 		// observed different location classes.
@@ -489,7 +573,9 @@ func RunFromReport(cfg Config, report *vm.FailureReport, discRuns int) (*Result,
 				basis = rt
 			}
 		}
+		sp = tel.StartSpan(telemetry.PhaseSketch)
 		sketch := BuildSketch(cfg.Title, plan, basis, ranked, added)
+		sp.End()
 		sketch.LowConfidence = lowConf
 		res.Sketch = sketch
 		res.Iters = append(res.Iters, IterStats{
@@ -546,4 +632,46 @@ func containsInt(xs []int, v int) bool {
 		}
 	}
 	return false
+}
+
+// countFaults records one admitted run's injected fault classes.
+func countFaults(tel *telemetry.Tracer, dec faults.Decision) {
+	for _, c := range []struct {
+		name string
+		hit  bool
+	}{
+		{"faults.crash", dec.Crash},
+		{"faults.hang", dec.Hang},
+		{"faults.overflow", dec.Overflow},
+		{"faults.corrupt", dec.Corrupt},
+		{"faults.drop_traps", dec.DropTraps},
+		{"faults.reorder_traps", dec.ReorderTraps},
+		{"faults.truncate", dec.Truncate != faults.TruncateNone},
+	} {
+		if c.hit {
+			tel.Add(c.name, 1)
+		}
+	}
+}
+
+// pushFleetCounters mirrors a FleetHealth aggregate into telemetry
+// counters, unifying the scattered per-subsystem accounting under one
+// "fleet.*" namespace.
+func pushFleetCounters(tel *telemetry.Tracer, h FleetHealth) {
+	if tel == nil {
+		return
+	}
+	tel.Add("fleet.dispatched", int64(h.Dispatched))
+	tel.Add("fleet.arrived", int64(h.Arrived))
+	tel.Add("fleet.lost", int64(h.Lost))
+	tel.Add("fleet.deadlined", int64(h.Deadlined))
+	tel.Add("fleet.decode_errs", int64(h.DecodeErrs))
+	tel.Add("fleet.salvaged", int64(h.Salvaged))
+	tel.Add("fleet.quarantined", int64(h.Quarantined))
+	tel.Add("fleet.repaired", int64(h.Repaired))
+	tel.Add("fleet.traps_dropped", int64(h.TrapsDropped))
+	tel.Add("fleet.retries", int64(h.Retries))
+	tel.Add("fleet.reseeded", int64(h.Reseeded))
+	tel.Add("fleet.backoff_batches", int64(h.BackoffBatches))
+	tel.Add("fleet.low_confidence_iters", int64(h.LowConfidenceIters))
 }

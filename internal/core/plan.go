@@ -24,6 +24,7 @@ import (
 	"repro/internal/hw/watch"
 	"repro/internal/ir"
 	"repro/internal/slicer"
+	"repro/internal/telemetry"
 )
 
 // Features gates Gist's three tracking techniques, enabling the Fig. 10
@@ -77,6 +78,12 @@ type Plan struct {
 	// class; the client arms one debug register per class (a watchpoint
 	// watches "the variable", not every address a walk touches).
 	Classes map[int]string
+
+	// Telemetry, when set by the server, receives the client-side phase
+	// spans (run execution, PT decode, trap collection) of every run
+	// executed under this plan. Purely observational; nil is fine and
+	// costs nothing.
+	Telemetry *telemetry.Tracer
 }
 
 // IsTracked reports whether instruction id is part of the tracked window.

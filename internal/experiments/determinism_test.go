@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/telemetry"
 )
 
 // TestWorkersDeterminism is the repo's end-to-end determinism contract:
@@ -28,12 +30,55 @@ func TestWorkersDeterminism(t *testing.T) {
 	}
 }
 
+// TestTelemetryDeterminism pins the observability contract: attaching a
+// tracer (with a live JSONL writer) must not perturb the diagnosis.
+// Fingerprints with telemetry on must be byte-identical to telemetry
+// off at every fleet width and fault rate, and the admission-ordered
+// fault/fleet counters must themselves be width-stable.
+func TestTelemetryDeterminism(t *testing.T) {
+	for _, name := range []string{"pbzip2", "apache-3"} {
+		for _, rate := range []float64{0, 0.10} {
+			t.Run(fmt.Sprintf("%s/rate=%.2f", name, rate), func(t *testing.T) {
+				bare := diagnosisFingerprint(t, name, rate, 1)
+				var counters [2]map[string]int64
+				for i, workers := range []int{1, 8} {
+					tel := telemetry.NewWithWriter(&bytes.Buffer{})
+					traced := tracedFingerprint(t, name, rate, workers, tel)
+					if traced != bare {
+						t.Fatalf("telemetry at workers=%d perturbed the diagnosis:\n--- off ---\n%s\n--- on ---\n%s",
+							workers, bare, traced)
+					}
+					snap := tel.Snapshot()
+					counters[i] = snap.Counters
+					if rate > 0 && snap.Counters["faults.injected_runs"] == 0 {
+						t.Fatalf("workers=%d rate=%.2f: no faults.injected_runs counted", workers, rate)
+					}
+					for _, phase := range []string{telemetry.PhaseSlice, telemetry.PhaseDecode, telemetry.PhaseRank, telemetry.PhaseSketch} {
+						if snap.Phases[phase].Count == 0 {
+							t.Errorf("workers=%d: phase %q recorded no spans", workers, phase)
+						}
+					}
+				}
+				if fmt.Sprint(counters[0]) != fmt.Sprint(counters[1]) {
+					t.Fatalf("counters diverge across widths:\n--- workers=1 ---\n%v\n--- workers=8 ---\n%v",
+						counters[0], counters[1])
+				}
+			})
+		}
+	}
+}
+
 func diagnosisFingerprint(t *testing.T, name string, rate float64, workers int) string {
+	return tracedFingerprint(t, name, rate, workers, nil)
+}
+
+func tracedFingerprint(t *testing.T, name string, rate float64, workers int, tel *telemetry.Tracer) string {
 	t.Helper()
 	b := Suite(name)[0]
 	cfg := b.GistConfig()
 	cfg.Features = core.AllFeatures()
 	cfg.Workers = workers
+	cfg.Telemetry = tel
 	cfg.StopWhen = DeveloperOracle(b)
 	if rate > 0 {
 		cfg.Faults = faults.Composite(ChaosSeed, rate)

@@ -30,6 +30,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/replay"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/vm"
 )
 
@@ -39,6 +40,12 @@ import (
 // flag sets it; diagnoses are byte-identical for any value, so the
 // knob trades only wall-clock time.
 var Workers int
+
+// Telemetry, when set (gist-bench's -trace-out/-metrics-json flags),
+// receives phase spans and counters from every diagnosis the experiment
+// drivers launch. The perf experiment manages its own per-pass tracer
+// and ignores this hook. Results are byte-identical with it nil or set.
+var Telemetry *telemetry.Tracer
 
 func experimentWorkers() int {
 	if Workers > 0 {
@@ -150,6 +157,7 @@ func Diagnose(b *bugs.Bug, feats core.Features, sigma0 int) (*core.Result, error
 	cfg.Features = feats
 	cfg.Sigma0 = sigma0
 	cfg.Workers = Workers
+	cfg.Telemetry = Telemetry
 	cfg.StopWhen = DeveloperOracle(b)
 	return core.Run(cfg)
 }
@@ -205,6 +213,7 @@ func table1Row(b *bugs.Bug) (Table1Row, error) {
 	}
 	gcfg := b.GistConfig()
 	gcfg.Workers = Workers
+	gcfg.Telemetry = Telemetry
 
 	// Offline analysis: what the Gist server does before instrumenting.
 	// The artifacts are memoized process-wide, so the first diagnosis of
@@ -377,6 +386,7 @@ func Fig11(suite []*bugs.Bug, sizes []int, runsPerPoint int) ([]Fig11Point, erro
 func windowOverhead(b *bugs.Bug, size, runs int) (float64, error) {
 	gcfg := b.GistConfig()
 	gcfg.Workers = Workers
+	gcfg.Telemetry = Telemetry
 	report, _, err := core.FirstFailure(gcfg)
 	if err != nil {
 		return 0, err
@@ -609,6 +619,7 @@ func Breakdown(suite []*bugs.Bug, runsPerBug int) ([]BreakdownRow, error) {
 func featureOverhead(b *bugs.Bug, feats core.Features, runs int) (float64, error) {
 	gcfg := b.GistConfig()
 	gcfg.Workers = Workers
+	gcfg.Telemetry = Telemetry
 	report, _, err := core.FirstFailure(gcfg)
 	if err != nil {
 		return 0, err

@@ -178,6 +178,13 @@ func RenderPerf(r *PerfResult) string {
 		fmt.Fprintf(&b, "\nanalysis cache (last pass): %d graph builds / %d hits, %d slice builds / %d hits\n",
 			c.GraphBuilds, c.GraphHits, c.SliceBuilds, c.SliceHits)
 	}
+	if n := len(r.Phases); n > 0 {
+		b.WriteString("\nper-phase breakdown (last pass):\n")
+		fmt.Fprintf(&b, "  %-14s %8s %12s %10s\n", "phase", "count", "total (ms)", "max (ms)")
+		for _, ph := range r.Phases[n-1] {
+			fmt.Fprintf(&b, "  %-14s %8d %12.1f %10.2f\n", ph.Phase, ph.Count, ph.TotalMS, ph.MaxMS)
+		}
+	}
 	return b.String()
 }
 

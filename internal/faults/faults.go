@@ -73,11 +73,53 @@ func (c Config) Enabled() bool {
 		c.TruncateRate > 0
 }
 
+// Rates returns the per-class probabilities by name, in a fixed order.
+func (c Config) Rates() map[string]float64 {
+	return map[string]float64{
+		"crash":    c.CrashRate,
+		"hang":     c.HangRate,
+		"overflow": c.OverflowRate,
+		"corrupt":  c.CorruptRate,
+		"drop":     c.TrapDropRate,
+		"reorder":  c.TrapReorderRate,
+		"truncate": c.TruncateRate,
+	}
+}
+
+// Validate rejects configurations whose probabilities are not actual
+// probabilities. It is the library-level guard behind the CLI flag
+// checks: a rate outside [0, 1] would make rng.Float64() < rate either
+// always or never true, silently degenerating the fault model instead
+// of failing loudly.
+func (c Config) Validate() error {
+	for name, rate := range c.Rates() {
+		if rate < 0 || rate > 1 {
+			return fmt.Errorf("faults: %s rate %g outside [0,1]", name, rate)
+		}
+	}
+	if c.DropFraction < 0 || c.DropFraction > 1 {
+		return fmt.Errorf("faults: drop fraction %g outside [0,1]", c.DropFraction)
+	}
+	if c.OverflowBufBytes < 0 {
+		return fmt.Errorf("faults: overflow buffer %d bytes is negative", c.OverflowBufBytes)
+	}
+	return nil
+}
+
 // Composite returns a Config that spreads one composite fault rate
 // across every fault class: rate is the probability that a run is hit
 // by at least roughly one fault, split evenly so no single class
 // dominates. This is the knob the chaos experiment sweeps.
+//
+// rate is clamped to [0, 1] first, so no class probability can leave
+// [0, 1/7] no matter what a CLI flag or library caller passes in
+// (rate 1.5 used to flow straight through and silently skew the split).
 func Composite(seed int64, rate float64) Config {
+	if rate < 0 {
+		rate = 0
+	} else if rate > 1 {
+		rate = 1
+	}
 	per := rate / 7
 	return Config{
 		Seed:            seed,

@@ -1,8 +1,10 @@
 package faults
 
 import (
+	"math"
 	"reflect"
 	"testing"
+	"testing/quick"
 
 	"repro/internal/hw/watch"
 )
@@ -79,6 +81,70 @@ func TestCompositeSpreadsRate(t *testing.T) {
 	}
 	if Composite(5, 0).Enabled() {
 		t.Error("composite rate 0 must stay disabled")
+	}
+}
+
+// Property: for any composite rate — including out-of-range garbage a
+// flag could deliver — every per-class probability stays in [0, 1], the
+// config validates, and the class split stays even.
+func TestCompositeRateRangeProperty(t *testing.T) {
+	f := func(raw int16) bool {
+		rate := float64(raw) / 1000 // sweeps roughly [-32.8, 32.8]
+		c := Composite(1, rate)
+		if err := c.Validate(); err != nil {
+			return false
+		}
+		var first float64
+		for _, per := range c.Rates() {
+			if per < 0 || per > 1 {
+				return false
+			}
+			first = per
+		}
+		for _, per := range c.Rates() {
+			if per != first { // even split across all 7 classes
+				return false
+			}
+		}
+		// In-range rates must be preserved exactly; out-of-range clamped.
+		sum := 7 * first
+		switch {
+		case rate <= 0:
+			return sum == 0
+		case rate >= 1:
+			return sum > 0.9999 && sum < 1.0001
+		default:
+			return sum > rate-1e-9 && sum < rate+1e-9
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsOutOfRange(t *testing.T) {
+	cases := []Config{
+		{CrashRate: 1.5},
+		{HangRate: -0.1},
+		{OverflowRate: 2},
+		{CorruptRate: math.Inf(1)},
+		{TrapDropRate: -1},
+		{TrapReorderRate: 1.01},
+		{TruncateRate: 7},
+		{DropFraction: 1.2},
+		{DropFraction: -0.5},
+		{OverflowBufBytes: -1},
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d (%+v): want error, got nil", i, c)
+		}
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Errorf("zero config should validate: %v", err)
+	}
+	if err := Composite(1, 1).Validate(); err != nil {
+		t.Errorf("composite at full rate should validate: %v", err)
 	}
 }
 

@@ -72,11 +72,18 @@ func DecodeEventsData(prog *ir.Program, evs []Event) ([]Segment, []BranchObs, []
 // DecodeFull decodes a raw buffer into segments, branch outcomes, and
 // extended-PT data accesses.
 func DecodeFull(prog *ir.Program, data []byte, wrapped bool) ([]Segment, []BranchObs, []DataObs, error) {
+	decodeCalls.Add(1)
+	decodedBytes.Add(int64(len(data)))
 	evs, err := ParsePackets(data, !wrapped)
 	if err != nil {
+		decodeErrors.Add(1)
 		return nil, nil, nil, err
 	}
-	return DecodeEventsData(prog, evs)
+	segs, branches, dobs, err := DecodeEventsData(prog, evs)
+	if err != nil {
+		decodeErrors.Add(1)
+	}
+	return segs, branches, dobs, err
 }
 
 type decoder struct {

@@ -37,12 +37,17 @@ func (r SalvageReport) Recovered() bool { return r.Instrs > 0 }
 // the next PSB. wrapped has the same meaning as in DecodeFull: the ring
 // buffer overflowed, so the bytes before the first PSB are skipped.
 func SalvageDecode(prog *ir.Program, data []byte, wrapped bool) ([]Segment, []BranchObs, []DataObs, SalvageReport) {
+	salvageCalls.Add(1)
 	var (
 		segs     []Segment
 		branches []BranchObs
 		dobs     []DataObs
 		rep      SalvageReport
 	)
+	defer func() {
+		salvagedChunks.Add(int64(rep.Chunks - rep.BadChunks))
+		salvagedInstrs.Add(int64(rep.Instrs))
+	}()
 	start := 0
 	if wrapped {
 		start = indexOfPSB(data)

@@ -88,6 +88,7 @@ func (u *Unit) Set(i int, wp Watchpoint) error {
 	}
 	u.slots[i] = &wp
 	u.charge(cost.WatchSetupMC)
+	armsTotal.Add(1)
 	return nil
 }
 
@@ -158,6 +159,7 @@ func (u *Unit) CheckAccess(thread, instrID int, addr, size, val int64, isWrite b
 		IsWrite: isWrite, InstrID: instrID, Thread: thread, Clock: clock,
 	})
 	u.charge(cost.WatchTrapMC)
+	trapsTotal.Add(1)
 	return true
 }
 

@@ -14,6 +14,13 @@ package stats
 // recall answers "how many failing runs the predictor flags". The paper
 // sets beta=0.5 so that precision dominates: a wrong root-cause hint is
 // worse than a missed one.
+//
+// Edge: with totalFail == 0 there are no failing runs to recover, so
+// recall — and with it F — is 0 by convention even at perfect
+// precision. The ranking pipeline never reaches this case (predictors
+// are only ranked once at least one failing run arrived), but callers
+// feeding raw contingency counts must not interpret the zero F as "bad
+// predictor"; it means "no evidence".
 func PrecisionRecallF(fail, succ, totalFail int, beta float64) (p, r, f float64) {
 	if fail+succ > 0 {
 		p = float64(fail) / float64(fail+succ)
@@ -32,6 +39,15 @@ func PrecisionRecallF(fail, succ, totalFail int, beta float64) (p, r, f float64)
 // two rankings of the same item set, plus the number of comparable pairs.
 // Items present in only one ranking are ignored; ties (equal positions)
 // cannot occur since positions are list indexes.
+//
+// Duplicates: a ranking is a list of distinct keys, so repeated items
+// are a caller bug — but rather than skewing the pair count silently,
+// the semantics are pinned down and tested: only the FIRST occurrence
+// of a duplicated item counts, later occurrences are ignored entirely
+// (for both position lookup and the common-item set). A ranking with
+// duplicates therefore behaves exactly like the ranking with all
+// later duplicates deleted. Callers that must not tolerate duplicates
+// should reject them before ranking.
 //
 // The normalized distance used in the paper's ordering accuracy is
 // disagreements / pairs.

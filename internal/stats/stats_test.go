@@ -106,6 +106,83 @@ func TestKendallTauPartialOverlap(t *testing.T) {
 	}
 }
 
+// The documented duplicate semantics: only the first occurrence of a
+// repeated key counts; a ranking with duplicates is equivalent to the
+// same ranking with later duplicates deleted.
+func TestKendallTauDuplicatesFirstOccurrenceWins(t *testing.T) {
+	// [1 2 1 3] must behave exactly like [1 2 3].
+	d1, p1 := KendallTau([]int{1, 2, 1, 3}, []int{3, 2, 1})
+	d2, p2 := KendallTau([]int{1, 2, 3}, []int{3, 2, 1})
+	if d1 != d2 || p1 != p2 {
+		t.Errorf("dup in a: d=%d p=%d, dedup'd: d=%d p=%d", d1, p1, d2, p2)
+	}
+	// Duplicates in b as well: [3 2 3 1 2] behaves like [3 2 1].
+	d3, p3 := KendallTau([]int{1, 2, 3}, []int{3, 2, 3, 1, 2})
+	if d3 != d2 || p3 != p2 {
+		t.Errorf("dup in b: d=%d p=%d, want d=%d p=%d", d3, p3, d2, p2)
+	}
+	// The pair count must reflect distinct common items only — the
+	// historical bug risk was `pairs` inflating with repeated keys.
+	_, p4 := KendallTau([]int{5, 5, 5, 6}, []int{6, 5})
+	if p4 != 1 {
+		t.Errorf("pairs over {5,6} = %d, want 1", p4)
+	}
+}
+
+// Property: appending duplicates of already-present items never changes
+// the result.
+func TestKendallTauDuplicateInvariance(t *testing.T) {
+	f := func(raw []uint8) bool {
+		seen := map[uint8]bool{}
+		var a []uint8
+		for _, x := range raw {
+			if !seen[x] {
+				seen[x] = true
+				a = append(a, x)
+			}
+		}
+		b := make([]uint8, len(a))
+		copy(b, a)
+		for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
+			b[i], b[j] = b[j], b[i]
+		}
+		d1, p1 := KendallTau(a, b)
+		// Duplicate every element of a (appended at the end, the worst
+		// position for a "last occurrence wins" bug to hide).
+		dup := append(append([]uint8(nil), a...), a...)
+		d2, p2 := KendallTau(dup, b)
+		return d1 == d2 && p1 == p2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The totalFail == 0 edge: recall and F are 0 by convention, precision
+// is still meaningful, and nothing divides by zero.
+func TestPrecisionRecallFNoFailingRuns(t *testing.T) {
+	p, r, f := PrecisionRecallF(0, 0, 0, 0.5)
+	if p != 0 || r != 0 || f != 0 {
+		t.Errorf("all-zero counts: got %g,%g,%g want 0,0,0", p, r, f)
+	}
+	p, r, f = PrecisionRecallF(0, 3, 0, 0.5)
+	if p != 0 || r != 0 || f != 0 {
+		t.Errorf("succ-only counts: got %g,%g,%g want 0,0,0", p, r, f)
+	}
+	// Inconsistent counts (fail > totalFail == 0): precision is perfect
+	// but recall and F stay 0 by the documented convention — and stay
+	// finite, which is what admission code relies on.
+	p, r, f = PrecisionRecallF(2, 0, 0, 0.5)
+	if p != 1 || r != 0 || f != 0 {
+		t.Errorf("fail>totalFail=0: got %g,%g,%g want 1,0,0", p, r, f)
+	}
+	for _, v := range []float64{p, r, f} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("non-finite result: %g", v)
+		}
+	}
+}
+
 func TestKendallTauEmpty(t *testing.T) {
 	d, p := KendallTau([]int{}, []int{1, 2})
 	if d != 0 || p != 0 {
