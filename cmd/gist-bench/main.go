@@ -22,15 +22,15 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, sketches, fig9, fig10, fig11, fig12, fig13, breakdown, swpt, extpt, chaos, perf, all")
+		exp      = flag.String("exp", "all", "experiment: table1, sketches, fig9, fig10, fig11, fig12, fig13, breakdown, swpt, extpt, chaos, perf, sched, all")
 		bugList  = flag.String("bugs", "", "comma-separated bug subset (default: all 11)")
 		runs     = flag.Int("runs", 0, "runs per measurement point (0 = experiment default)")
 		workers  = flag.Int("workers", 0, "fan-out width for suite sweeps and the fleet inside each diagnosis (0 = GOMAXPROCS); results are byte-identical for any value")
-		jsonPath = flag.String("json", "", "with -exp perf: write the scaling results to this JSON file (e.g. BENCH_fleet.json)")
+		jsonPath = flag.String("json", "", "with -exp perf or -exp sched: write the results to this JSON file (e.g. BENCH_fleet.json)")
 
 		traceOut    = flag.String("trace-out", "", "write a JSONL phase-span event log to this file")
 		metricsJSON = flag.String("metrics-json", "", "write a metrics snapshot to this file on exit")
-		validate    = flag.String("validate", "", "validate an existing perf BENCH JSON file against the observability schema, then exit")
+		validate    = flag.String("validate", "", "validate an existing BENCH JSON file (perf or sched) against the observability schema, then exit")
 	)
 	flag.Parse()
 
@@ -195,28 +195,46 @@ func main() {
 		fmt.Print(experiments.RenderChaos(experiments.Chaos(cs, nil)))
 		return nil
 	})
-	// perf re-diagnoses the suite once per worker count, so it runs only
-	// when asked for by name, not as part of "all".
-	if *exp == "perf" {
+	// perf and sched re-diagnose the suite once per worker/width count,
+	// so they run only when asked for by name, not as part of "all".
+	// Both derive their measurement points from -workers the same way.
+	widthList := func() []int {
 		wl := []int{1, 2, 4, 8}
 		if *workers == 1 {
 			wl = []int{1}
 		} else if *workers > 0 {
 			wl = []int{1, *workers}
 		}
+		return wl
+	}
+	writeBench := func(name string, write func(string) error) {
+		if *jsonPath == "" {
+			return
+		}
+		if err := write(*jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "gist-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", *jsonPath)
+	}
+	if *exp == "perf" {
 		fmt.Printf("==== perf ====\n\n")
-		res, err := experiments.Perf(suite, wl)
+		res, err := experiments.Perf(suite, widthList())
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gist-bench: perf: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Print(experiments.RenderPerf(res))
-		if *jsonPath != "" {
-			if err := res.WriteJSON(*jsonPath); err != nil {
-				fmt.Fprintf(os.Stderr, "gist-bench: perf: %v\n", err)
-				os.Exit(1)
-			}
-			fmt.Printf("\nwrote %s\n", *jsonPath)
+		writeBench("perf", res.WriteJSON)
+	}
+	if *exp == "sched" {
+		fmt.Printf("==== sched ====\n\n")
+		res, err := experiments.Sched(suite, widthList())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gist-bench: sched: %v\n", err)
+			os.Exit(1)
 		}
+		fmt.Print(experiments.RenderSched(res))
+		writeBench("sched", res.WriteJSON)
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -36,6 +37,9 @@ func main() {
 		asJSON   = flag.Bool("json", false, "emit the sketch as JSON instead of text")
 
 		workers   = flag.Int("workers", 0, "fleet worker-pool width (0 = GOMAXPROCS); the diagnosis is byte-identical for any value")
+		maxIters  = flag.Int("max-iters", 0, "cap on AsT iterations this process runs (0 = library default); with -checkpoint-dir the boundary state is checkpointed so a later -resume continues")
+		ckptDir   = flag.String("checkpoint-dir", "", "write a campaign checkpoint to this directory after every AsT iteration; the diagnosis is byte-identical with or without checkpointing")
+		resume    = flag.Bool("resume", false, "restore the campaign from -checkpoint-dir instead of starting from discovery, continuing the diagnosis byte-for-byte")
 		faultRate = flag.Float64("fault-rate", 0, "composite fleet fault rate in [0,1] spread across all fault classes (0 = reliable fleet)")
 		faultSeed = flag.Int64("fault-seed", 1, "fault-injector seed (diagnoses are deterministic per seed)")
 		deadline  = flag.Int64("run-deadline", 0, "per-run step deadline applied by the server (0 = off)")
@@ -64,6 +68,12 @@ func main() {
 	if *deadline < 0 {
 		fatalf("-run-deadline %d is negative (0 means off)", *deadline)
 	}
+	if *maxIters < 0 {
+		fatalf("-max-iters %d is negative (0 means library default)", *maxIters)
+	}
+	if *resume && *ckptDir == "" {
+		fatalf("-resume needs -checkpoint-dir to load the checkpoint from")
+	}
 
 	if *list {
 		fmt.Println("bug            software      class")
@@ -90,6 +100,7 @@ func main() {
 		cfg.Faults = faults.Composite(*faultSeed, *faultRate)
 	}
 	cfg.RunDeadlineSteps = *deadline
+	cfg.MaxIters = *maxIters
 
 	// Telemetry observes the pipeline; the diagnosis is byte-identical
 	// with or without it.
@@ -130,7 +141,7 @@ func main() {
 		}
 	}
 
-	res, err := core.Run(cfg)
+	res, err := diagnose(cfg, b.Name, *ckptDir, *resume, fatalf)
 	writeMetrics()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gist: %v\n", err)
@@ -177,6 +188,69 @@ func main() {
 	fmt.Printf("Accuracy vs. hand-written ideal sketch: relevance %.1f%%, ordering %.1f%%, overall %.1f%%\n",
 		rel, ord, overall)
 	fmt.Printf("\nHow developers fixed it: %s\n", b.Fix)
+}
+
+// diagnose runs the pipeline, stepping the campaign manually when
+// checkpointing is requested so a checkpoint lands after every AsT
+// iteration boundary. Checkpoints are written atomically (temp file +
+// rename), so a kill mid-write can never leave a truncated checkpoint.
+func diagnose(cfg core.Config, bugName, ckptDir string, resume bool, fatalf func(string, ...any)) (*core.Result, error) {
+	if ckptDir == "" {
+		return core.Run(cfg)
+	}
+	path := filepath.Join(ckptDir, bugName+".ckpt.json")
+	var camp *core.Campaign
+	if resume {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatalf("-resume: %v", err)
+		}
+		snap, err := core.DecodeCampaignSnapshot(data)
+		if err != nil {
+			fatalf("-resume: %v", err)
+		}
+		camp, err = core.RestoreCampaign(cfg, snap)
+		if err != nil {
+			fatalf("-resume: %v", err)
+		}
+	} else {
+		report, disc, err := core.FirstFailure(cfg)
+		if err != nil {
+			return nil, err
+		}
+		camp, err = core.NewCampaign(cfg, report, disc)
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if err := os.MkdirAll(ckptDir, 0o755); err != nil {
+		fatalf("-checkpoint-dir: %v", err)
+	}
+	writeCkpt := func() {
+		snap, err := camp.Snapshot()
+		if err != nil {
+			fatalf("checkpoint: %v", err)
+		}
+		data, err := snap.Encode()
+		if err != nil {
+			fatalf("checkpoint: %v", err)
+		}
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, data, 0o644); err != nil {
+			fatalf("checkpoint: %v", err)
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			fatalf("checkpoint: %v", err)
+		}
+	}
+	for {
+		done, err := camp.Step()
+		writeCkpt()
+		if done {
+			res, _ := camp.Result()
+			return res, err
+		}
+	}
 }
 
 func parseFeatures(s string) core.Features {

@@ -72,6 +72,53 @@ func runFleet(plan *Plan, jobs []fleetJob, workers int) []*RunTrace {
 	})
 }
 
+// Pool is a shared bounded worker pool several concurrent campaigns
+// draw endpoint runs from — the multi-tenant fleet. Each campaign keeps
+// dispatching jobs and admitting results in its own deterministic
+// order; the pool only bounds how many runs execute at once across all
+// tenants, so sharing it affects wall-clock interleaving and nothing
+// else. A nil *Pool is valid and means "use the campaign's private
+// parallelMap pool".
+type Pool struct {
+	width int
+	sem   chan struct{}
+}
+
+// NewPool returns a pool executing at most width runs concurrently
+// (0 = GOMAXPROCS).
+func NewPool(width int) *Pool {
+	if width <= 0 {
+		width = defaultWorkers()
+	}
+	return &Pool{width: width, sem: make(chan struct{}, width)}
+}
+
+// Width returns the pool's concurrency bound.
+func (p *Pool) Width() int { return p.width }
+
+func (p *Pool) acquire() { p.sem <- struct{}{} }
+func (p *Pool) release() { <-p.sem }
+
+// parallelMapPool is parallelMap drawing slots from a shared pool:
+// f(0..n-1) runs on at most pool.width goroutines fleet-wide, results
+// indexed by input. Slot acquisition happens before each goroutine
+// spawns, so a chunk never holds more goroutines than pool slots.
+func parallelMapPool[T any](n int, pool *Pool, f func(int) T) []T {
+	out := make([]T, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		pool.acquire()
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer pool.release()
+			out[i] = f(i)
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
 // fleetChunk is how many runs the server dispatches ahead of admission.
 // A serial server dispatches one run at a time (no speculation — the
 // historical loop exactly); a parallel server keeps the pipe a few

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 )
 
@@ -31,6 +32,82 @@ func TestFleetChunk(t *testing.T) {
 	}
 	if got := fleetChunk(4); got != 16 {
 		t.Errorf("fleetChunk(4) = %d, want 16", got)
+	}
+}
+
+func TestParallelMapPoolIndexOrder(t *testing.T) {
+	for _, width := range []int{1, 2, 8} {
+		pool := NewPool(width)
+		out := parallelMapPool(50, pool, func(i int) int { return i * i })
+		if len(out) != 50 {
+			t.Fatalf("width=%d: got %d results", width, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("width=%d: out[%d] = %d", width, i, v)
+			}
+		}
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const width = 3
+	pool := NewPool(width)
+	var active, peak atomic.Int64
+	// Two concurrent tenants drawing from one pool: the fleet-wide
+	// in-flight count must never exceed the pool width.
+	done := make(chan struct{}, 2)
+	for tenant := 0; tenant < 2; tenant++ {
+		go func() {
+			parallelMapPool(40, pool, func(i int) int {
+				n := active.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				active.Add(-1)
+				return i
+			})
+			done <- struct{}{}
+		}()
+	}
+	<-done
+	<-done
+	if p := peak.Load(); p > width {
+		t.Errorf("pool of width %d ran %d jobs concurrently", width, p)
+	}
+}
+
+func TestNewPoolDefaultWidth(t *testing.T) {
+	if w := NewPool(0).Width(); w < 1 {
+		t.Errorf("NewPool(0).Width() = %d", w)
+	}
+	if w := NewPool(5).Width(); w != 5 {
+		t.Errorf("NewPool(5).Width() = %d", w)
+	}
+}
+
+// TestCampaignPoolDeterminism: attaching a shared pool changes only
+// wall-clock interleaving, never the diagnosis.
+func TestCampaignPoolDeterminism(t *testing.T) {
+	cfg := pbzipConfig(t)
+	report, disc, err := FirstFailure(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := campaignFingerprint(RunFromReport(cfg, report, disc))
+	for _, width := range []int{1, 4} {
+		camp, err := NewCampaign(cfg, report, disc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		camp.UsePool(NewPool(width))
+		if got := campaignFingerprint(camp.Run()); got != want {
+			t.Errorf("pool width %d diverged from private fleet:\n--- pooled ---\n%s\n--- private ---\n%s",
+				width, got, want)
+		}
 	}
 }
 

@@ -8,7 +8,6 @@ import (
 	"repro/internal/faults"
 	"repro/internal/ir"
 	"repro/internal/slicer"
-	"repro/internal/stats"
 	"repro/internal/telemetry"
 	"repro/internal/vm"
 )
@@ -17,6 +16,12 @@ import (
 type Config struct {
 	Prog  *ir.Program
 	Title string
+
+	// Label tags the diagnosis's telemetry (spans and counters) with a
+	// campaign identity so multi-tenant schedulers can attribute cost
+	// per bug in -metrics-json. Empty means unlabeled: the telemetry
+	// stream is byte-compatible with historical output.
+	Label string
 
 	// Sigma0 is the initial tracked-slice size in statements (§3.2.1;
 	// the paper uses 2). Each AsT iteration doubles it.
@@ -317,361 +322,18 @@ func Run(cfg Config) (*Result, error) {
 	return RunFromReport(cfg, report, discRuns)
 }
 
-// RunFromReport performs the pipeline for a known failure report.
+// RunFromReport performs the pipeline for a known failure report: it is
+// a thin wrapper over the Campaign state machine (campaign.go), which
+// owns the adaptive slice-tracking loop.
 func RunFromReport(cfg Config, report *vm.FailureReport, discRuns int) (*Result, error) {
-	if err := cfg.Validate(); err != nil {
+	camp, err := NewCampaign(cfg, report, discRuns)
+	if err != nil {
 		return nil, err
 	}
-	cfg = cfg.withDefaults()
-	tel := cfg.Telemetry
-	sp := tel.StartSpan(telemetry.PhaseTICFG)
-	g := cfg.BuildGraph()
-	sp.End()
-	sp = tel.StartSpan(telemetry.PhaseSlice)
-	sl := analysis.Slice(cfg.Prog, report.InstrID)
-	// Deadlock reports carry the other blocked threads' PCs (a crash dump
-	// has every thread's stack): slice from each cycle participant and
-	// merge, so the sketch shows the whole inversion.
-	for _, pc := range report.OtherPCs {
-		for _, id := range analysis.Slice(cfg.Prog, pc).Discovery {
-			sl.Add(id)
-		}
-	}
-	sp.End()
-
-	res := &Result{Slice: sl, Report: report, DiscoveryRuns: discRuns}
-	// The diagnosis-wide FleetHealth aggregate doubles as the telemetry
-	// counter inventory; push it on every exit path so -metrics-json
-	// sees the same numbers the Result carries.
-	tel.SetGauge("fleet.workers", int64(cfg.Workers))
-	defer func() { pushFleetCounters(tel, res.Health) }()
-	var overheads []float64
-	var added []int
-	addedSet := make(map[int]bool)
-
-	sigma := cfg.Sigma0
-	maxSigma := cfg.MaxSigma
-	seed := cfg.SeedBase + int64(cfg.MaxDiscoveryRuns) // past discovery seeds
-	inj := faults.NewInjector(cfg.Faults)
-
-	for iter := 0; iter < cfg.MaxIters; iter++ {
-		limit := sl.LineCount()
-		if maxSigma > 0 && maxSigma < limit {
-			limit = maxSigma
-		}
-		effSigma := sigma
-		if effSigma > limit {
-			effSigma = limit
-		}
-		window := sl.Window(effSigma)
-		for _, id := range added {
-			if !containsInt(window, id) {
-				window = append(window, id)
-			}
-		}
-		sp = tel.StartSpan(telemetry.PhasePlan)
-		plan := BuildPlan(g, window, cfg.Features)
-		sp.End()
-		plan.Telemetry = tel
-		windowSet := make(map[int]bool, len(window))
-		for _, id := range window {
-			windowSet[id] = true
-		}
-
-		var failing, successful []*RunTrace
-		var health FleetHealth
-		var lostEndpoints []int
-		iterStart := len(overheads)
-		// makeJob binds one production run's identity — endpoint, seed,
-		// workload, fault decision — at dispatch time, before the worker
-		// pool touches it, so parallel execution cannot perturb the
-		// seed-to-run mapping.
-		makeJob := func(e int, s int64) fleetJob {
-			return fleetJob{
-				spec: RunSpec{
-					EndpointID:  e,
-					Seed:        s,
-					Workload:    cfg.workloadFor(e),
-					PreemptMean: cfg.PreemptMean,
-					MaxSteps:    cfg.MaxSteps,
-				},
-				dec: inj.ForRun(e, s),
-			}
-		}
-		// admit applies the server's admission logic to one arrived
-		// report, strictly in dispatch order: crashed and
-		// deadline-missing endpoints are recorded for the retry pass,
-		// arriving reports pass server-side validation, and undecodable
-		// traces are quarantined away from predictor extraction while
-		// keeping their outcome.
-		admit := func(job fleetJob, rt *RunTrace) {
-			spec := job.spec
-			// Fault-class accounting happens here, not at dispatch:
-			// admission order is the part of the pipeline that is
-			// byte-identical at any worker width, so the counters are
-			// width-stable even though speculative chunks over-dispatch.
-			if tel != nil && job.dec.Any() {
-				tel.Add("faults.injected_runs", 1)
-				countFaults(tel, job.dec)
-			}
-			health.Dispatched++
-			res.TotalRuns++
-			if rt == nil {
-				health.Lost++
-				lostEndpoints = append(lostEndpoints, spec.EndpointID)
-				return
-			}
-			if rt.Late || (cfg.RunDeadlineSteps > 0 && rt.Outcome != nil && rt.Outcome.Steps > cfg.RunDeadlineSteps) {
-				health.Deadlined++
-				lostEndpoints = append(lostEndpoints, spec.EndpointID)
-				return
-			}
-			quarantine, repaired := validateTrace(rt, len(cfg.Prog.Instrs))
-			if quarantine {
-				health.Quarantined++
-				return
-			}
-			if repaired > 0 {
-				health.Repaired++
-			}
-			health.Arrived++
-			health.TrapsDropped += rt.DroppedTraps
-			if rt.SalvagedCores > 0 {
-				health.Salvaged++
-			}
-			if rt.DecodeErr != nil {
-				health.DecodeErrs++
-				quarantineTraceData(rt)
-			}
-			if cfg.Features.ExtendedPT {
-				// The extended-PT trace logs every shared access; keep
-				// only those on addresses the tracked slice touches, the
-				// same set hardware watchpoints would have trapped on.
-				rt.FilterTraps(func(id int) bool { return sl.Contains(id) || windowSet[id] })
-			}
-			overheads = append(overheads, rt.Meter.OverheadPct())
-			if rt.Failed() && rt.Outcome.Report.ID() == report.ID() {
-				if len(failing) < cfg.FailuresPerIter {
-					failing = append(failing, rt)
-				}
-			} else if !rt.Failed() {
-				successful = append(successful, rt)
-			}
-		}
-		need := func() bool {
-			return len(failing) < cfg.FailuresPerIter || len(successful) < cfg.MinSuccesses
-		}
-		fleetSpan := tel.StartSpan(telemetry.PhaseFleet)
-		budget := cfg.MaxBatches * cfg.Endpoints
-		chunk := fleetChunk(cfg.Workers)
-		// The fleet executes speculative chunks concurrently while the
-		// server admits reports strictly in dispatch order, stopping at
-		// exactly the run where a serial fleet would have stopped;
-		// speculated runs past that point are discarded unconsumed and
-		// their seeds are never burned.
-		for done := 0; done < budget && need(); {
-			n := chunk
-			if done+n > budget {
-				n = budget - done
-			}
-			jobs := make([]fleetJob, n)
-			for j := range jobs {
-				jobs[j] = makeJob((done+j)%cfg.Endpoints, seed+int64(j))
-			}
-			results := runFleet(plan, jobs, cfg.Workers)
-			for j, rt := range results {
-				if !need() {
-					break
-				}
-				admit(jobs[j], rt)
-				seed++
-				done++
-			}
-		}
-		// Lost and deadlined endpoints get their batches retried with
-		// capped exponential backoff: each retry pass costs backoff
-		// simulated batch delays, then re-seeds a replacement run per
-		// missing endpoint. A retry batch always runs to completion
-		// (need() gates passes, not batch members), so the whole batch
-		// fans out across the pool at once.
-		backoff := 1
-		for retry := 0; retry < cfg.MaxRetries && len(lostEndpoints) > 0 && need(); retry++ {
-			health.Retries++
-			health.BackoffBatches += backoff
-			batch := lostEndpoints
-			lostEndpoints = nil
-			jobs := make([]fleetJob, len(batch))
-			for j, e := range batch {
-				jobs[j] = makeJob(e, seed+int64(j))
-			}
-			results := runFleet(plan, jobs, cfg.Workers)
-			for j, rt := range results {
-				health.Reseeded++
-				admit(jobs[j], rt)
-				seed++
-			}
-			if backoff < 8 {
-				backoff *= 2
-			}
-		}
-		fleetSpan.End()
-		if len(failing) == 0 {
-			res.Health.Merge(health)
-			// The failure did not recur under this window's fleet budget;
-			// grow the window and keep waiting, like a real deployment.
-			if cfg.SigmaGrowthAdd > 0 {
-				sigma += cfg.SigmaGrowthAdd
-			} else {
-				sigma *= 2
-			}
-			if effSigma >= limit {
-				return res, fmt.Errorf("gist: failure %s did not recur (iteration %d)", report.ID(), iter)
-			}
-			continue
-		}
-		res.FailureRecurrences += len(failing)
-
-		// Refinement (§3.2.3): statements discovered by the watchpoints
-		// that the alias-free static slice missed are added to the slice.
-		// Both failing and successful runs contribute: in failing
-		// schedules the racing store often happens before any tracked
-		// access arms a watchpoint, while successful schedules catch it.
-		var addedNow []int
-		refine := func(rt *RunTrace) {
-			for _, tr := range rt.Traps {
-				if !sl.Contains(tr.InstrID) && !addedSet[tr.InstrID] {
-					addedSet[tr.InstrID] = true
-					added = append(added, tr.InstrID)
-					addedNow = append(addedNow, tr.InstrID)
-					sl.Add(tr.InstrID)
-				}
-			}
-		}
-		for _, rt := range failing {
-			refine(rt)
-		}
-		for _, rt := range successful {
-			refine(rt)
-		}
-
-		// Quorum (§3.2): with too few validated runs the statistical
-		// comparison is noise; rank anyway, but annotate the sketch so
-		// the developer knows the confidence is degraded.
-		lowConf := len(failing)+len(successful) < cfg.MinQuorum
-		if lowConf {
-			health.LowConfidenceIters++
-		}
-		sp = tel.StartSpan(telemetry.PhaseRank)
-		ranked := RankPredictors(cfg.Prog, failing, successful, cfg.Beta)
-		sp.End()
-		// Base the sketch on the best-instrumented failing run: under
-		// cooperative watchpoint partitioning, different failing runs
-		// observed different location classes.
-		basis := failing[0]
-		for _, rt := range failing[1:] {
-			if betterBasis(rt, basis) {
-				basis = rt
-			}
-		}
-		sp = tel.StartSpan(telemetry.PhaseSketch)
-		sketch := BuildSketch(cfg.Title, plan, basis, ranked, added)
-		sp.End()
-		sketch.LowConfidence = lowConf
-		res.Sketch = sketch
-		res.Iters = append(res.Iters, IterStats{
-			Sigma:         effSigma,
-			TrackedLines:  effSigma,
-			TrackedInstrs: len(window),
-			Failing:       len(failing),
-			Successful:    len(successful),
-			OverheadPct:   stats.Mean(overheads[iterStart:]),
-			AddedInstrs:   addedNow,
-			Health:        health,
-		})
-		res.Health.Merge(health)
-
-		if cfg.StopWhen != nil && cfg.StopWhen(sketch) {
-			break
-		}
-		if len(addedNow) == 0 && effSigma >= limit {
-			break // window covers the slice and refinement converged
-		}
-		if cfg.SigmaGrowthAdd > 0 {
-			sigma += cfg.SigmaGrowthAdd
-		} else {
-			sigma *= 2
-		}
-	}
-	res.AvgOverheadPct = stats.Mean(overheads)
-	if res.Sketch == nil {
-		return res, fmt.Errorf("gist: no sketch produced")
-	}
-	return res, nil
+	return camp.Run()
 }
 
 // BuildGraph returns the TICFG for the configured program, constructing
 // it on first use and returning the process-wide memoized graph after
 // that (the graph is read-only once built, so sharing is safe).
 func (c Config) BuildGraph() *cfg.TICFG { return analysis.Graph(c.Prog) }
-
-// betterBasis prefers a failing run with a clean decode over one whose
-// trace had to be quarantined, then the run with the larger trap log
-// (strictly larger, so the earliest run wins ties and the clean-fleet
-// choice is unchanged).
-func betterBasis(a, b *RunTrace) bool {
-	if (a.DecodeErr == nil) != (b.DecodeErr == nil) {
-		return a.DecodeErr == nil
-	}
-	return len(a.Traps) > len(b.Traps)
-}
-
-func containsInt(xs []int, v int) bool {
-	for _, x := range xs {
-		if x == v {
-			return true
-		}
-	}
-	return false
-}
-
-// countFaults records one admitted run's injected fault classes.
-func countFaults(tel *telemetry.Tracer, dec faults.Decision) {
-	for _, c := range []struct {
-		name string
-		hit  bool
-	}{
-		{"faults.crash", dec.Crash},
-		{"faults.hang", dec.Hang},
-		{"faults.overflow", dec.Overflow},
-		{"faults.corrupt", dec.Corrupt},
-		{"faults.drop_traps", dec.DropTraps},
-		{"faults.reorder_traps", dec.ReorderTraps},
-		{"faults.truncate", dec.Truncate != faults.TruncateNone},
-	} {
-		if c.hit {
-			tel.Add(c.name, 1)
-		}
-	}
-}
-
-// pushFleetCounters mirrors a FleetHealth aggregate into telemetry
-// counters, unifying the scattered per-subsystem accounting under one
-// "fleet.*" namespace.
-func pushFleetCounters(tel *telemetry.Tracer, h FleetHealth) {
-	if tel == nil {
-		return
-	}
-	tel.Add("fleet.dispatched", int64(h.Dispatched))
-	tel.Add("fleet.arrived", int64(h.Arrived))
-	tel.Add("fleet.lost", int64(h.Lost))
-	tel.Add("fleet.deadlined", int64(h.Deadlined))
-	tel.Add("fleet.decode_errs", int64(h.DecodeErrs))
-	tel.Add("fleet.salvaged", int64(h.Salvaged))
-	tel.Add("fleet.quarantined", int64(h.Quarantined))
-	tel.Add("fleet.repaired", int64(h.Repaired))
-	tel.Add("fleet.traps_dropped", int64(h.TrapsDropped))
-	tel.Add("fleet.retries", int64(h.Retries))
-	tel.Add("fleet.reseeded", int64(h.Reseeded))
-	tel.Add("fleet.backoff_batches", int64(h.BackoffBatches))
-	tel.Add("fleet.low_confidence_iters", int64(h.LowConfidenceIters))
-}

@@ -236,11 +236,30 @@ func (r *PerfResult) WriteJSON(path string) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-// ValidateBenchJSON parses a BENCH_fleet.json produced by WriteJSON and
-// checks the observability schema: every worker pass must carry the
-// required phase rows and the cache/fault counter families. CI's smoke
-// step runs this against the artifact it just generated.
+// ValidateBenchJSON parses a BENCH artifact produced by a WriteJSON
+// (perf or sched experiment), dispatching on its "experiment" field,
+// and checks the matching observability schema. CI's smoke steps run
+// this against the artifacts they just generated.
 func ValidateBenchJSON(data []byte) error {
+	var probe struct {
+		Experiment string `json:"experiment"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return fmt.Errorf("bench json: %w", err)
+	}
+	switch probe.Experiment {
+	case "perf":
+		return validatePerfJSON(data)
+	case "sched":
+		return ValidateSchedJSON(data)
+	default:
+		return fmt.Errorf("bench json: unknown experiment %q (want perf or sched)", probe.Experiment)
+	}
+}
+
+// validatePerfJSON checks the perf schema: every worker pass must carry
+// the required phase rows and the cache/fault counter families.
+func validatePerfJSON(data []byte) error {
 	var r PerfResult
 	if err := json.Unmarshal(data, &r); err != nil {
 		return fmt.Errorf("bench json: %w", err)

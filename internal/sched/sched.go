@@ -1,0 +1,108 @@
+// Package sched interleaves several concurrent Gist campaigns — one per
+// distinct failure — over one shared endpoint fleet.
+//
+// The paper's deployment (§3.3) diagnoses many failures at once: the
+// fleet is partitioned across failure clusters, and every cluster's
+// adaptive slice-tracking loop makes progress while the others run.
+// The simulator models that with a round-robin scheduler: each round,
+// every unfinished campaign executes exactly one AsT iteration, all
+// rounds' iterations running concurrently over a shared bounded worker
+// pool (core.Pool). Round-robin batch admission is the fairness rule —
+// no campaign can start iteration k+1 until every live campaign has
+// finished iteration k, so a cheap bug cannot starve an expensive one
+// of fleet slots and vice versa.
+//
+// Determinism: a campaign's diagnosis is a pure function of its own
+// configuration and seed cursor; the pool only decides *when* runs
+// execute, never which runs or in what admission order. Every Outcome
+// is therefore byte-identical to running the same campaign serially,
+// at any pool width and under any goroutine interleaving.
+package sched
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Outcome is one campaign's result plus the scheduling trace the
+// fairness analysis consumes.
+type Outcome struct {
+	Label  string
+	Result *core.Result
+	Err    error
+	// Rounds is how many scheduler rounds (AsT iterations) the campaign
+	// was stepped.
+	Rounds int
+	// RunsPerRound records the production runs the campaign consumed in
+	// each round it participated in — the per-tenant fleet-share series
+	// Jain's fairness index is computed over.
+	RunsPerRound []int
+}
+
+// Scheduler drives campaigns to completion in concurrent round-robin
+// rounds over a shared fleet pool. Not safe for concurrent use; all
+// concurrency is internal.
+type Scheduler struct {
+	pool  *core.Pool
+	camps []*core.Campaign
+}
+
+// New returns a scheduler whose shared fleet executes at most width
+// runs concurrently across all campaigns (0 = GOMAXPROCS).
+func New(width int) *Scheduler {
+	return &Scheduler{pool: core.NewPool(width)}
+}
+
+// Width returns the shared fleet's concurrency bound.
+func (s *Scheduler) Width() int { return s.pool.Width() }
+
+// Add enrolls a campaign, attaching it to the shared pool. Campaigns
+// must be added before Run and not stepped elsewhere.
+func (s *Scheduler) Add(c *core.Campaign) {
+	c.UsePool(s.pool)
+	s.camps = append(s.camps, c)
+}
+
+// Run steps every enrolled campaign to completion and returns the
+// outcomes in enrollment order.
+func (s *Scheduler) Run() []Outcome {
+	outs := make([]Outcome, len(s.camps))
+	for i, c := range s.camps {
+		outs[i].Label = c.Label()
+	}
+	for {
+		var active []int
+		for i, c := range s.camps {
+			if !c.Finished() {
+				active = append(active, i)
+			}
+		}
+		if len(active) == 0 {
+			break
+		}
+		before := make(map[int]int, len(active))
+		for _, i := range active {
+			before[i] = s.camps[i].TotalRuns()
+		}
+		var wg sync.WaitGroup
+		for _, i := range active {
+			wg.Add(1)
+			go func(c *core.Campaign) {
+				defer wg.Done()
+				c.Step() // terminal errors surface via Result below
+			}(s.camps[i])
+		}
+		wg.Wait()
+		// Record the round in enrollment order, after the barrier, so
+		// the outcome trace is independent of goroutine interleaving.
+		for _, i := range active {
+			outs[i].Rounds++
+			outs[i].RunsPerRound = append(outs[i].RunsPerRound, s.camps[i].TotalRuns()-before[i])
+		}
+	}
+	for i, c := range s.camps {
+		outs[i].Result, outs[i].Err = c.Result()
+	}
+	return outs
+}

@@ -1,0 +1,135 @@
+package sched_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/bugs"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/sched"
+)
+
+// schedBugs is the multi-tenant suite: four distinct failures diagnosed
+// concurrently over one shared fleet.
+var schedBugs = []string{"pbzip2", "curl", "memcached", "apache-1"}
+
+// fingerprint captures everything diagnosis-visible about an outcome;
+// two equal fingerprints mean byte-identical diagnoses.
+func fingerprint(res *core.Result, err error) string {
+	if err != nil {
+		return "err: " + err.Error()
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "disc=%d total=%d rec=%d ov=%.9f\n",
+		res.DiscoveryRuns, res.TotalRuns, res.FailureRecurrences, res.AvgOverheadPct)
+	fmt.Fprintf(&sb, "health=%+v\n", res.Health)
+	for _, it := range res.Iters {
+		fmt.Fprintf(&sb, "iter=%+v\n", it)
+	}
+	fmt.Fprintf(&sb, "slice=%v\n", res.Slice.IDs)
+	sb.WriteString(res.Sketch.Render())
+	for _, r := range res.Sketch.AllRanked {
+		fmt.Fprintf(&sb, "ranked=%+v\n", r)
+	}
+	return sb.String()
+}
+
+// prepareTenants discovers each bug's first failure once and returns a
+// campaign factory per tenant plus the serial RunFromReport baseline
+// fingerprints the scheduled runs must match.
+func prepareTenants(t *testing.T) ([]func() *core.Campaign, []string) {
+	t.Helper()
+	var makes []func() *core.Campaign
+	var serial []string
+	for _, name := range schedBugs {
+		b := bugs.ByName(name)
+		if b == nil {
+			t.Fatalf("unknown bug %q", name)
+		}
+		cfg := b.GistConfig()
+		cfg.Label = b.Name
+		cfg.StopWhen = experiments.DeveloperOracle(b)
+		report, disc, err := core.FirstFailure(cfg)
+		if err != nil {
+			t.Fatalf("%s: discovery: %v", name, err)
+		}
+		serial = append(serial, fingerprint(core.RunFromReport(cfg, report, disc)))
+		makes = append(makes, func() *core.Campaign {
+			camp, err := core.NewCampaign(cfg, report, disc)
+			if err != nil {
+				t.Fatalf("%s: NewCampaign: %v", name, err)
+			}
+			return camp
+		})
+	}
+	return makes, serial
+}
+
+// TestSchedulerMatchesSerial interleaves all tenants over shared pools
+// of width 1 and 8 and requires every campaign's outcome to be
+// byte-identical to its serial RunFromReport baseline — determinism
+// regardless of interleaving.
+func TestSchedulerMatchesSerial(t *testing.T) {
+	makes, serial := prepareTenants(t)
+	for _, width := range []int{1, 8} {
+		s := sched.New(width)
+		if s.Width() != width {
+			t.Fatalf("Width() = %d, want %d", s.Width(), width)
+		}
+		for _, mk := range makes {
+			s.Add(mk())
+		}
+		outs := s.Run()
+		if len(outs) != len(schedBugs) {
+			t.Fatalf("width %d: %d outcomes, want %d", width, len(outs), len(schedBugs))
+		}
+		for i, out := range outs {
+			if out.Label != schedBugs[i] {
+				t.Errorf("width %d: outcome %d label %q, want %q (enrollment order)", width, i, out.Label, schedBugs[i])
+			}
+			got := fingerprint(out.Result, out.Err)
+			if got != serial[i] {
+				t.Errorf("width %d: %s diverged from serial diagnosis:\n--- scheduled ---\n%s\n--- serial ---\n%s",
+					width, schedBugs[i], got, serial[i])
+			}
+		}
+	}
+}
+
+// TestSchedulerFairnessTrace checks the round-robin accounting: every
+// tenant is stepped every round it is live, the per-round samples match
+// the round count, and the per-round run deltas sum to the diagnosis
+// total.
+func TestSchedulerFairnessTrace(t *testing.T) {
+	makes, _ := prepareTenants(t)
+	s := sched.New(0)
+	camps := make([]*core.Campaign, len(makes))
+	for i, mk := range makes {
+		camps[i] = mk()
+		s.Add(camps[i])
+	}
+	outs := s.Run()
+	for i, out := range outs {
+		if out.Rounds == 0 {
+			t.Errorf("%s: zero rounds", out.Label)
+		}
+		if len(out.RunsPerRound) != out.Rounds {
+			t.Errorf("%s: %d round samples for %d rounds", out.Label, len(out.RunsPerRound), out.Rounds)
+		}
+		sum := 0
+		for _, n := range out.RunsPerRound {
+			sum += n
+		}
+		if out.Result == nil {
+			t.Fatalf("%s: nil result (err %v)", out.Label, out.Err)
+		}
+		if sum != out.Result.TotalRuns {
+			t.Errorf("%s: per-round runs sum to %d, TotalRuns %d", out.Label, sum, out.Result.TotalRuns)
+		}
+		if camps[i].Iteration()+1 < out.Rounds {
+			t.Errorf("%s: %d rounds but campaign only reached iteration %d", out.Label, out.Rounds, camps[i].Iteration())
+		}
+	}
+}

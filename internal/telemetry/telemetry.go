@@ -78,6 +78,16 @@ type Tracer struct {
 	phases   map[string]*PhaseStat
 	counters map[string]int64
 	gauges   map[string]int64
+	// campaigns holds per-tenant aggregates keyed by campaign label, so
+	// one tracer shared by a multi-bug scheduler can still attribute
+	// spans and counters to the diagnosis that produced them.
+	campaigns map[string]*campaignAgg
+}
+
+// campaignAgg is one campaign label's private aggregate view.
+type campaignAgg struct {
+	phases   map[string]*PhaseStat
+	counters map[string]int64
 }
 
 // New returns a Tracer that aggregates in memory only.
@@ -88,11 +98,12 @@ func New() *Tracer { return NewWithWriter(nil) }
 // per sampler tick). w may be nil.
 func NewWithWriter(w io.Writer) *Tracer {
 	return &Tracer{
-		start:    time.Now(),
-		w:        w,
-		phases:   make(map[string]*PhaseStat),
-		counters: make(map[string]int64),
-		gauges:   make(map[string]int64),
+		start:     time.Now(),
+		w:         w,
+		phases:    make(map[string]*PhaseStat),
+		counters:  make(map[string]int64),
+		gauges:    make(map[string]int64),
+		campaigns: make(map[string]*campaignAgg),
 	}
 }
 
@@ -123,6 +134,7 @@ func OpenTrace(path string) (*Tracer, func() error, error) {
 type Span struct {
 	t     *Tracer
 	name  string
+	label string
 	start time.Time
 }
 
@@ -135,6 +147,18 @@ func (t *Tracer) StartSpan(name string) Span {
 	return Span{t: t, name: name, start: time.Now()}
 }
 
+// StartSpanL is StartSpan with a campaign label: the span still folds
+// into the global phase aggregate, but additionally into the labeled
+// campaign's view, and the JSONL event carries the label. An empty
+// label is exactly StartSpan, so unlabeled pipelines emit byte-identical
+// event logs.
+func (t *Tracer) StartSpanL(name, label string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, name: name, label: label, start: time.Now()}
+}
+
 // End finishes the span, folding its duration into the phase aggregate
 // and emitting a JSONL event when the tracer has a writer.
 func (s Span) End() {
@@ -144,24 +168,50 @@ func (s Span) End() {
 	d := time.Since(s.start)
 	t := s.t
 	t.mu.Lock()
-	ps := t.phases[s.name]
-	if ps == nil {
-		ps = &PhaseStat{}
-		t.phases[s.name] = ps
+	fold := func(phases map[string]*PhaseStat) {
+		ps := phases[s.name]
+		if ps == nil {
+			ps = &PhaseStat{}
+			phases[s.name] = ps
+		}
+		ps.Count++
+		ps.TotalNS += d.Nanoseconds()
+		if d.Nanoseconds() > ps.MaxNS {
+			ps.MaxNS = d.Nanoseconds()
+		}
 	}
-	ps.Count++
-	ps.TotalNS += d.Nanoseconds()
-	if d.Nanoseconds() > ps.MaxNS {
-		ps.MaxNS = d.Nanoseconds()
+	fold(t.phases)
+	if s.label != "" {
+		fold(t.campaign(s.label).phases)
 	}
 	if t.w != nil && t.werr == nil {
-		_, err := fmt.Fprintf(t.w, `{"ev":"span","name":%q,"t_us":%d,"dur_us":%d}`+"\n",
-			s.name, s.start.Sub(t.start).Microseconds(), d.Microseconds())
+		var err error
+		if s.label != "" {
+			_, err = fmt.Fprintf(t.w, `{"ev":"span","name":%q,"campaign":%q,"t_us":%d,"dur_us":%d}`+"\n",
+				s.name, s.label, s.start.Sub(t.start).Microseconds(), d.Microseconds())
+		} else {
+			_, err = fmt.Fprintf(t.w, `{"ev":"span","name":%q,"t_us":%d,"dur_us":%d}`+"\n",
+				s.name, s.start.Sub(t.start).Microseconds(), d.Microseconds())
+		}
 		if err != nil {
 			t.werr = err
 		}
 	}
 	t.mu.Unlock()
+}
+
+// campaign returns (creating on first use) the labeled aggregate.
+// Callers must hold t.mu.
+func (t *Tracer) campaign(label string) *campaignAgg {
+	c := t.campaigns[label]
+	if c == nil {
+		c = &campaignAgg{
+			phases:   make(map[string]*PhaseStat),
+			counters: make(map[string]int64),
+		}
+		t.campaigns[label] = c
+	}
+	return c
 }
 
 // Add increments a named counter. Nil-safe.
@@ -171,6 +221,22 @@ func (t *Tracer) Add(name string, delta int64) {
 	}
 	t.mu.Lock()
 	t.counters[name] += delta
+	t.mu.Unlock()
+}
+
+// AddL increments a named counter under a campaign label: the global
+// counter advances exactly as with Add, and the labeled campaign's
+// private counter advances alongside it. An empty label is exactly Add.
+// Nil-safe.
+func (t *Tracer) AddL(label, name string, delta int64) {
+	if t == nil || delta == 0 {
+		return
+	}
+	t.mu.Lock()
+	t.counters[name] += delta
+	if label != "" {
+		t.campaign(label).counters[name] += delta
+	}
 	t.mu.Unlock()
 }
 
@@ -227,13 +293,24 @@ func readRuntimeStats() RuntimeStats {
 	}
 }
 
+// CampaignStats is one campaign label's slice of a snapshot: the phase
+// spans and counters attributed to that tenant via StartSpanL/AddL.
+type CampaignStats struct {
+	Phases   map[string]PhaseStat `json:"phases"`
+	Counters map[string]int64     `json:"counters"`
+}
+
 // Snapshot is a point-in-time view of everything the tracer knows.
 type Snapshot struct {
 	UptimeMS float64              `json:"uptime_ms"`
 	Phases   map[string]PhaseStat `json:"phases"`
 	Counters map[string]int64     `json:"counters"`
 	Gauges   map[string]int64     `json:"gauges,omitempty"`
-	Runtime  RuntimeStats         `json:"runtime"`
+	// Campaigns separates the labeled tenants of a multi-campaign run
+	// (the scheduler labels each diagnosis), absent when nothing was
+	// labeled so single-tenant snapshots keep their historical schema.
+	Campaigns map[string]CampaignStats `json:"campaigns,omitempty"`
+	Runtime   RuntimeStats             `json:"runtime"`
 }
 
 // Snapshot captures the current aggregates. On a nil Tracer it returns
@@ -259,6 +336,22 @@ func (t *Tracer) Snapshot() Snapshot {
 		snap.Gauges = make(map[string]int64, len(t.gauges))
 		for name, v := range t.gauges {
 			snap.Gauges[name] = v
+		}
+	}
+	if len(t.campaigns) > 0 {
+		snap.Campaigns = make(map[string]CampaignStats, len(t.campaigns))
+		for label, c := range t.campaigns {
+			cs := CampaignStats{
+				Phases:   make(map[string]PhaseStat, len(c.phases)),
+				Counters: make(map[string]int64, len(c.counters)),
+			}
+			for name, ps := range c.phases {
+				cs.Phases[name] = *ps
+			}
+			for name, v := range c.counters {
+				cs.Counters[name] = v
+			}
+			snap.Campaigns[label] = cs
 		}
 	}
 	t.mu.Unlock()
