@@ -22,15 +22,15 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, sketches, fig9, fig10, fig11, fig12, fig13, breakdown, swpt, extpt, chaos, perf, sched, all")
+		exp      = flag.String("exp", "all", "experiment: table1, sketches, fig9, fig10, fig11, fig12, fig13, breakdown, swpt, extpt, chaos, perf, sched, crashloop, all")
 		bugList  = flag.String("bugs", "", "comma-separated bug subset (default: all 11)")
 		runs     = flag.Int("runs", 0, "runs per measurement point (0 = experiment default)")
 		workers  = flag.Int("workers", 0, "fan-out width for suite sweeps and the fleet inside each diagnosis (0 = GOMAXPROCS); results are byte-identical for any value")
-		jsonPath = flag.String("json", "", "with -exp perf or -exp sched: write the results to this JSON file (e.g. BENCH_fleet.json)")
+		jsonPath = flag.String("json", "", "with -exp perf, sched, or crashloop: write the results to this JSON file (e.g. BENCH_fleet.json)")
 
 		traceOut    = flag.String("trace-out", "", "write a JSONL phase-span event log to this file")
 		metricsJSON = flag.String("metrics-json", "", "write a metrics snapshot to this file on exit")
-		validate    = flag.String("validate", "", "validate an existing BENCH JSON file (perf or sched) against the observability schema, then exit")
+		validate    = flag.String("validate", "", "validate an existing BENCH JSON file (perf, sched, or crashloop) against the observability schema, then exit")
 	)
 	flag.Parse()
 
@@ -236,5 +236,20 @@ func main() {
 		}
 		fmt.Print(experiments.RenderSched(res))
 		writeBench("sched", res.WriteJSON)
+	}
+	if *exp == "crashloop" {
+		fmt.Printf("==== crashloop ====\n\n")
+		// Default to the chaos trio; -bugs widens (or narrows) the sweep.
+		cs := suite
+		if *bugList == "" {
+			cs = experiments.ChaosSuite()
+		}
+		res, err := experiments.Crashloop(cs, nil, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gist-bench: crashloop: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(experiments.RenderCrashloop(res))
+		writeBench("crashloop", res.WriteJSON)
 	}
 }

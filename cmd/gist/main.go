@@ -15,14 +15,19 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/bugs"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/faults"
+	"repro/internal/store"
+	"repro/internal/supervise"
 	"repro/internal/telemetry"
 )
 
@@ -36,13 +41,16 @@ func main() {
 		noOracle = flag.Bool("full", false, "run AsT to completion instead of stopping at the developer oracle")
 		asJSON   = flag.Bool("json", false, "emit the sketch as JSON instead of text")
 
-		workers   = flag.Int("workers", 0, "fleet worker-pool width (0 = GOMAXPROCS); the diagnosis is byte-identical for any value")
-		maxIters  = flag.Int("max-iters", 0, "cap on AsT iterations this process runs (0 = library default); with -checkpoint-dir the boundary state is checkpointed so a later -resume continues")
-		ckptDir   = flag.String("checkpoint-dir", "", "write a campaign checkpoint to this directory after every AsT iteration; the diagnosis is byte-identical with or without checkpointing")
-		resume    = flag.Bool("resume", false, "restore the campaign from -checkpoint-dir instead of starting from discovery, continuing the diagnosis byte-for-byte")
-		faultRate = flag.Float64("fault-rate", 0, "composite fleet fault rate in [0,1] spread across all fault classes (0 = reliable fleet)")
-		faultSeed = flag.Int64("fault-seed", 1, "fault-injector seed (diagnoses are deterministic per seed)")
-		deadline  = flag.Int64("run-deadline", 0, "per-run step deadline applied by the server (0 = off)")
+		workers    = flag.Int("workers", 0, "fleet worker-pool width (0 = GOMAXPROCS); the diagnosis is byte-identical for any value")
+		maxIters   = flag.Int("max-iters", 0, "cap on AsT iterations this process runs (0 = library default); with -checkpoint-dir the boundary state is checkpointed so a later -resume continues")
+		ckptDir    = flag.String("checkpoint-dir", "", "durably checkpoint the campaign to this directory after every AsT iteration (checksummed, generation-numbered); the diagnosis is byte-identical with or without checkpointing")
+		resume     = flag.Bool("resume", false, "restore the campaign from the newest valid checkpoint generation in -checkpoint-dir instead of starting from discovery, continuing the diagnosis byte-for-byte")
+		supervised = flag.Bool("supervise", false, "run under the self-healing supervisor: panic recovery, per-step watchdog, restart from the last good checkpoint, circuit breaker")
+		ckptFsync  = flag.Bool("ckpt-fsync", true, "fsync checkpoint files and their directory before publishing (false trades durability of the newest generation for speed)")
+		iterDelay  = flag.Duration("iter-delay", 0, "sleep this long between AsT iteration boundaries (widens the kill window for crash-recovery testing)")
+		faultRate  = flag.Float64("fault-rate", 0, "composite fleet fault rate in [0,1] spread across all fault classes (0 = reliable fleet)")
+		faultSeed  = flag.Int64("fault-seed", 1, "fault-injector seed (diagnoses are deterministic per seed)")
+		deadline   = flag.Int64("run-deadline", 0, "per-run step deadline applied by the server (0 = off)")
 
 		traceOut    = flag.String("trace-out", "", "write a JSONL phase-span event log to this file")
 		metricsJSON = flag.String("metrics-json", "", "write a metrics snapshot (phases, counters, runtime stats) to this file on exit")
@@ -73,6 +81,9 @@ func main() {
 	}
 	if *resume && *ckptDir == "" {
 		fatalf("-resume needs -checkpoint-dir to load the checkpoint from")
+	}
+	if *iterDelay < 0 {
+		fatalf("-iter-delay %v is negative", *iterDelay)
 	}
 
 	if *list {
@@ -141,8 +152,19 @@ func main() {
 		}
 	}
 
-	res, err := diagnose(cfg, b.Name, *ckptDir, *resume, fatalf)
+	res, err, drained := diagnose(cfg, b.Name, runOpts{
+		ckptDir:   *ckptDir,
+		resume:    *resume,
+		supervise: *supervised,
+		fsync:     *ckptFsync,
+		iterDelay: *iterDelay,
+		tel:       tel,
+	}, fatalf)
 	writeMetrics()
+	if drained {
+		fmt.Fprintln(os.Stderr, "gist: drained: campaign checkpointed; continue with -resume")
+		os.Exit(3)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gist: %v\n", err)
 		if res == nil || res.Sketch == nil {
@@ -190,44 +212,72 @@ func main() {
 	fmt.Printf("\nHow developers fixed it: %s\n", b.Fix)
 }
 
-// diagnose runs the pipeline, stepping the campaign manually when
-// checkpointing is requested so a checkpoint lands after every AsT
-// iteration boundary. Checkpoints are written atomically (temp file +
-// rename), so a kill mid-write can never leave a truncated checkpoint.
-func diagnose(cfg core.Config, bugName, ckptDir string, resume bool, fatalf func(string, ...any)) (*core.Result, error) {
-	if ckptDir == "" {
-		return core.Run(cfg)
+// runOpts carries the durability and supervision knobs into diagnose.
+type runOpts struct {
+	ckptDir   string
+	resume    bool
+	supervise bool
+	fsync     bool
+	iterDelay time.Duration
+	tel       *telemetry.Tracer
+}
+
+// diagnose runs the pipeline. With -checkpoint-dir the campaign steps
+// through the durable checkpoint store: after every AsT iteration
+// boundary the snapshot is framed (checksummed), written to a temp
+// file, fsynced, renamed into place, and the directory fsynced — so a
+// kill at any instant leaves either the previous generation or the new
+// one, never a silently torn checkpoint. With -supervise the campaign
+// additionally runs under the self-healing supervisor; SIGINT/SIGTERM
+// drain the campaign to a checkpoint instead of killing it (exit 3).
+func diagnose(cfg core.Config, bugName string, opts runOpts, fatalf func(string, ...any)) (*core.Result, error, bool) {
+	if opts.ckptDir == "" && !opts.supervise && opts.iterDelay == 0 {
+		res, err := core.Run(cfg)
+		return res, err, false
 	}
-	path := filepath.Join(ckptDir, bugName+".ckpt.json")
+
+	var st *store.Store
+	if opts.ckptDir != "" {
+		var err error
+		st, err = store.Open(opts.ckptDir, bugName, store.Options{
+			NoFsync:   !opts.fsync,
+			Telemetry: opts.tel,
+			Label:     bugName,
+		})
+		if err != nil {
+			fatalf("-checkpoint-dir: %v", err)
+		}
+		for _, q := range st.Quarantined() {
+			fmt.Fprintf(os.Stderr, "gist: checkpoint quarantined: %s: %v\n", q.From, q.Reason)
+		}
+	}
+
 	var camp *core.Campaign
-	if resume {
-		data, err := os.ReadFile(path)
-		if err != nil {
-			fatalf("-resume: %v", err)
-		}
-		snap, err := core.DecodeCampaignSnapshot(data)
-		if err != nil {
-			fatalf("-resume: %v", err)
-		}
-		camp, err = core.RestoreCampaign(cfg, snap)
-		if err != nil {
-			fatalf("-resume: %v", err)
-		}
+	if opts.resume {
+		camp = restoreFromStore(cfg, bugName, st, fatalf)
 	} else {
 		report, disc, err := core.FirstFailure(cfg)
 		if err != nil {
-			return nil, err
+			return nil, err, false
 		}
 		camp, err = core.NewCampaign(cfg, report, disc)
 		if err != nil {
 			fatalf("%v", err)
 		}
 	}
-	if err := os.MkdirAll(ckptDir, 0o755); err != nil {
-		fatalf("-checkpoint-dir: %v", err)
-	}
-	writeCkpt := func() {
-		snap, err := camp.Snapshot()
+
+	// Drain on SIGINT/SIGTERM: the campaign is checkpointed at the next
+	// iteration boundary and the process exits 3 instead of losing the
+	// in-flight diagnosis.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+
+	saveCkpt := func(c *core.Campaign) {
+		if st == nil {
+			return
+		}
+		snap, err := c.Snapshot()
 		if err != nil {
 			fatalf("checkpoint: %v", err)
 		}
@@ -235,22 +285,105 @@ func diagnose(cfg core.Config, bugName, ckptDir string, resume bool, fatalf func
 		if err != nil {
 			fatalf("checkpoint: %v", err)
 		}
-		tmp := path + ".tmp"
-		if err := os.WriteFile(tmp, data, 0o644); err != nil {
-			fatalf("checkpoint: %v", err)
-		}
-		if err := os.Rename(tmp, path); err != nil {
-			fatalf("checkpoint: %v", err)
+		if _, err := st.Save(data); err != nil {
+			// The previous durable generation stands; the diagnosis
+			// keeps running.
+			fmt.Fprintf(os.Stderr, "gist: checkpoint: %v\n", err)
 		}
 	}
+
+	if opts.supervise {
+		sup := supervise.New(cfg.Workers, supervise.Config{Telemetry: opts.tel})
+		slot, err := sup.Add(cfg, camp, st)
+		if err != nil {
+			fatalf("-supervise: %v", err)
+		}
+		if opts.iterDelay > 0 {
+			delay := opts.iterDelay
+			sup.SetStepFault(slot, func(int) supervise.StepFault {
+				time.Sleep(delay)
+				return supervise.StepNone
+			})
+		}
+		go func() {
+			<-sigCh
+			sup.RequestDrain()
+		}()
+		out := sup.Run()[slot]
+		if out.Drained {
+			return nil, nil, true
+		}
+		if out.BreakerTripped {
+			fmt.Fprintf(os.Stderr, "gist: supervisor circuit breaker tripped after %d restarts; serving the last checkpoint as a low-confidence diagnosis\n", out.Restarts)
+		}
+		return out.Result, out.Err, false
+	}
+
+	var drainReq atomic.Bool
+	go func() {
+		<-sigCh
+		drainReq.Store(true)
+	}()
+	saveCkpt(camp) // enrollment boundary: even a step-zero kill can resume
 	for {
 		done, err := camp.Step()
-		writeCkpt()
+		saveCkpt(camp)
 		if done {
 			res, _ := camp.Result()
-			return res, err
+			return res, err, false
+		}
+		if drainReq.Load() {
+			return nil, nil, true
+		}
+		if opts.iterDelay > 0 {
+			time.Sleep(opts.iterDelay)
 		}
 	}
+}
+
+// restoreFromStore loads the newest checkpoint generation that decodes,
+// falling back across generations when the newest one's payload fails
+// campaign-level decoding. With no valid generation at all it exits 2,
+// naming the file it wanted and why it was rejected.
+func restoreFromStore(cfg core.Config, bugName string, st *store.Store, fatalf func(string, ...any)) *core.Campaign {
+	if st == nil {
+		fatalf("-resume needs -checkpoint-dir to load the checkpoint from")
+	}
+	var snap *core.CampaignSnapshot
+	for snap == nil {
+		latest := st.Latest()
+		if latest == nil {
+			// Legacy layout: a plain <bug>.ckpt.json from before the
+			// generation-numbered store.
+			legacy := filepath.Join(st.Dir(), bugName+".ckpt.json")
+			if data, err := os.ReadFile(legacy); err == nil {
+				s, derr := core.DecodeCampaignSnapshot(data)
+				if derr != nil {
+					fatalf("-resume: %s: %v", legacy, derr)
+				}
+				snap = s
+				break
+			}
+			msg := fmt.Sprintf("-resume: no valid checkpoint generation for %q in %s", bugName, st.Dir())
+			if qs := st.Quarantined(); len(qs) > 0 {
+				last := qs[len(qs)-1]
+				msg += fmt.Sprintf(" (newest candidate %s quarantined: %v)", last.From, last.Reason)
+			}
+			fatalf("%s", msg)
+		}
+		s, err := core.DecodeCampaignSnapshot(latest.Payload)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gist: -resume: %s: %v; falling back to the previous generation\n", latest.Path, err)
+			st.Discard(err)
+			continue
+		}
+		snap = s
+	}
+	camp, err := core.RestoreCampaign(cfg, snap)
+	if err != nil {
+		fatalf("-resume: %v", err)
+	}
+	return camp
 }
 
 func parseFeatures(s string) core.Features {

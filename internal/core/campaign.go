@@ -505,6 +505,29 @@ func (c *Campaign) finish(err error) {
 	pushFleetCounters(c.cfg.Telemetry, c.label, c.res.Health)
 }
 
+// Abandon moves an unfinished campaign to a degraded terminal state —
+// the supervisor's circuit breaker calls it after a campaign crash-loops
+// past its restart budget. The latest checkpointed sketch is served
+// marked low-confidence (degraded but actionable, like a quorum miss);
+// a campaign abandoned before any sketch exists terminates with an
+// error wrapping the abandonment reason.
+func (c *Campaign) Abandon(reason error) {
+	if c.finished {
+		return
+	}
+	c.finished = true
+	c.inIter = false
+	c.res.AvgOverheadPct = stats.Mean(c.overheads)
+	if c.res.Sketch != nil {
+		c.res.Sketch.LowConfidence = true
+	} else if reason != nil {
+		c.finErr = fmt.Errorf("gist: campaign abandoned with no sketch: %w", reason)
+	} else {
+		c.finErr = fmt.Errorf("gist: campaign abandoned with no sketch")
+	}
+	pushFleetCounters(c.cfg.Telemetry, c.label, c.res.Health)
+}
+
 // Step runs one full AsT iteration — Plan through Decide — and reports
 // whether the campaign finished (with the terminal error, if any). A
 // Step on a finished campaign is a no-op returning the same terminal

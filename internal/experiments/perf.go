@@ -237,9 +237,9 @@ func (r *PerfResult) WriteJSON(path string) error {
 }
 
 // ValidateBenchJSON parses a BENCH artifact produced by a WriteJSON
-// (perf or sched experiment), dispatching on its "experiment" field,
-// and checks the matching observability schema. CI's smoke steps run
-// this against the artifacts they just generated.
+// (perf, sched, or crashloop experiment), dispatching on its
+// "experiment" field, and checks the matching observability schema.
+// CI's smoke steps run this against the artifacts they just generated.
 func ValidateBenchJSON(data []byte) error {
 	var probe struct {
 		Experiment string `json:"experiment"`
@@ -252,8 +252,10 @@ func ValidateBenchJSON(data []byte) error {
 		return validatePerfJSON(data)
 	case "sched":
 		return ValidateSchedJSON(data)
+	case "crashloop":
+		return ValidateCrashloopJSON(data)
 	default:
-		return fmt.Errorf("bench json: unknown experiment %q (want perf or sched)", probe.Experiment)
+		return fmt.Errorf("bench json: unknown experiment %q (want perf, sched, or crashloop)", probe.Experiment)
 	}
 }
 

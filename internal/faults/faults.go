@@ -57,6 +57,15 @@ type Config struct {
 	// observations dropped).
 	TruncateRate float64
 
+	// DiskRate is the probability one checkpoint write to the durable
+	// store suffers a disk fault (torn write, post-write bit flip,
+	// dropped rename, or fsync error, picked uniformly). Unlike the
+	// per-run classes above, disk faults are drawn per (store name,
+	// generation) by ForCheckpoint and never touch the pipeline's
+	// per-run streams, so enabling them leaves every diagnosis
+	// byte-identical.
+	DiskRate float64
+
 	// DropFraction is the fraction of traps dropped within an affected
 	// run; 0 means 0.3.
 	DropFraction float64
@@ -70,10 +79,12 @@ type Config struct {
 func (c Config) Enabled() bool {
 	return c.CrashRate > 0 || c.HangRate > 0 || c.OverflowRate > 0 ||
 		c.CorruptRate > 0 || c.TrapDropRate > 0 || c.TrapReorderRate > 0 ||
-		c.TruncateRate > 0
+		c.TruncateRate > 0 || c.DiskRate > 0
 }
 
-// Rates returns the per-class probabilities by name, in a fixed order.
+// Rates returns the per-run pipeline class probabilities by name, in a
+// fixed order. DiskRate is deliberately not listed: it is a per-write
+// store-layer class, not a per-run class, and Composite never sets it.
 func (c Config) Rates() map[string]float64 {
 	return map[string]float64{
 		"crash":    c.CrashRate,
@@ -96,6 +107,9 @@ func (c Config) Validate() error {
 		if rate < 0 || rate > 1 {
 			return fmt.Errorf("faults: %s rate %g outside [0,1]", name, rate)
 		}
+	}
+	if c.DiskRate < 0 || c.DiskRate > 1 {
+		return fmt.Errorf("faults: disk rate %g outside [0,1]", c.DiskRate)
 	}
 	if c.DropFraction < 0 || c.DropFraction > 1 {
 		return fmt.Errorf("faults: drop fraction %g outside [0,1]", c.DropFraction)
@@ -131,6 +145,19 @@ func Composite(seed int64, rate float64) Config {
 		TrapReorderRate: per,
 		TruncateRate:    per,
 	}
+}
+
+// Disk returns a Config injecting only store-layer disk faults: rate is
+// the probability one checkpoint write is hit by exactly one of the four
+// durability fault kinds (picked uniformly). rate is clamped to [0, 1]
+// like Composite's. This is the knob the crashloop experiment sweeps.
+func Disk(seed int64, rate float64) Config {
+	if rate < 0 {
+		rate = 0
+	} else if rate > 1 {
+		rate = 1
+	}
+	return Config{Seed: seed, DiskRate: rate}
 }
 
 // String summarizes the configuration for experiment tables.
@@ -305,4 +332,93 @@ func (d Decision) PickCore(cores []int) int {
 		return 0
 	}
 	return cores[d.rng.Intn(len(cores))]
+}
+
+// DiskKind selects which durability fault a checkpoint write suffers.
+// These model the classic crash-consistency hazards of an atomic-rename
+// checkpoint protocol: data that never fully reached the platter, bit
+// rot after the write, a rename the crash window swallowed, and an
+// fsync the kernel failed.
+type DiskKind int
+
+// Disk fault kinds.
+const (
+	// DiskNone: the write is durable and intact.
+	DiskNone DiskKind = iota
+	// DiskTorn: only a prefix of the frame reaches the disk.
+	DiskTorn
+	// DiskFlip: one byte of the durable frame is flipped after the
+	// write (latent media corruption the CRC must catch).
+	DiskFlip
+	// DiskRenameDrop: the rename publishing the generation never
+	// happens; the temp file is left behind.
+	DiskRenameDrop
+	// DiskFsyncErr: fsync reports an error; the write must be treated
+	// as lost.
+	DiskFsyncErr
+)
+
+// String names the kind for store quarantine records and logs.
+func (k DiskKind) String() string {
+	switch k {
+	case DiskNone:
+		return "none"
+	case DiskTorn:
+		return "torn-write"
+	case DiskFlip:
+		return "bit-flip"
+	case DiskRenameDrop:
+		return "dropped-rename"
+	case DiskFsyncErr:
+		return "fsync-error"
+	}
+	return fmt.Sprintf("disk-kind-%d", int(k))
+}
+
+// DiskDecision is the durability fault injected into one checkpoint
+// write. The zero value injects nothing.
+type DiskDecision struct {
+	Kind DiskKind
+	rng  *rand.Rand
+}
+
+// Any reports whether the decision injects a fault.
+func (d DiskDecision) Any() bool { return d.Kind != DiskNone }
+
+// TornLen returns how many of the frame's n bytes survive a torn write,
+// in [0, n), from the decision's seeded stream.
+func (d DiskDecision) TornLen(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return d.rng.Intn(n)
+}
+
+// FlipByte picks the position and XOR mask of a post-write bit flip in
+// an n-byte frame. The mask is never zero, so the flip always damages
+// the frame.
+func (d DiskDecision) FlipByte(n int) (pos int, mask byte) {
+	if n <= 0 {
+		return 0, 1
+	}
+	return d.rng.Intn(n), byte(1 + d.rng.Intn(255))
+}
+
+// ForCheckpoint derives the disk-fault decision for one checkpoint
+// write, a pure function of the injector seed and the write's identity
+// (store name, generation number). Generations are monotonic, so every
+// write draws a fresh decision and an unlucky generation can never
+// wedge a store forever. Nil-safe.
+func (i *Injector) ForCheckpoint(name string, gen uint64) DiskDecision {
+	if i == nil || i.cfg.DiskRate <= 0 {
+		return DiskDecision{}
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "disk|%d|%s|%d", i.cfg.Seed, name, gen)
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+	d := DiskDecision{rng: rng}
+	if rng.Float64() < i.cfg.DiskRate {
+		d.Kind = DiskKind(1 + rng.Intn(4))
+	}
+	return d
 }

@@ -205,6 +205,71 @@ func TestApplyTrapsDropAndReorder(t *testing.T) {
 	}
 }
 
+func TestDiskDecisions(t *testing.T) {
+	// Disabled and nil injectors never inject.
+	if Disk(1, 0).Enabled() {
+		t.Error("disk rate 0 must stay disabled")
+	}
+	var nilInj *Injector
+	if nilInj.ForCheckpoint("x", 1).Any() {
+		t.Error("nil injector produced a disk fault")
+	}
+
+	inj := NewInjector(Disk(7, 1))
+	if inj == nil {
+		t.Fatal("disk rate 1 should enable injection")
+	}
+	// Deterministic per (name, generation): identical injectors agree.
+	other := NewInjector(Disk(7, 1))
+	kinds := make(map[DiskKind]bool)
+	for gen := uint64(0); gen < 64; gen++ {
+		d := inj.ForCheckpoint("pbzip2", gen)
+		if !d.Any() {
+			t.Fatalf("DiskRate=1 produced no fault at gen %d", gen)
+		}
+		if d2 := other.ForCheckpoint("pbzip2", gen); d2.Kind != d.Kind {
+			t.Fatalf("gen %d: kinds differ across identical injectors", gen)
+		}
+		kinds[d.Kind] = true
+	}
+	if len(kinds) != 4 {
+		t.Errorf("64 decisions hit %d disk-fault kinds, want all 4", len(kinds))
+	}
+	// The store name salts the stream: two stores fail in different
+	// places.
+	differs := false
+	for gen := uint64(0); gen < 64 && !differs; gen++ {
+		differs = inj.ForCheckpoint("a", gen).Kind != inj.ForCheckpoint("b", gen).Kind
+	}
+	if !differs {
+		t.Error("two store names draw identical disk-fault streams")
+	}
+	// Decision primitives stay in range.
+	d := inj.ForCheckpoint("pbzip2", 3)
+	if n := d.TornLen(100); n < 0 || n >= 100 {
+		t.Errorf("TornLen(100) = %d outside [0,100)", n)
+	}
+	if pos, mask := d.FlipByte(100); pos < 0 || pos >= 100 || mask == 0 {
+		t.Errorf("FlipByte(100) = (%d, %#x) invalid", pos, mask)
+	}
+	// Disk-only injection never perturbs the per-run pipeline stream.
+	if inj.ForRun(0, 0).Any() {
+		t.Error("disk-only config injected a pipeline fault")
+	}
+}
+
+func TestDiskRateValidation(t *testing.T) {
+	if err := (Config{DiskRate: 1.5}).Validate(); err == nil {
+		t.Error("disk rate 1.5 should fail validation")
+	}
+	if err := (Config{DiskRate: -0.1}).Validate(); err == nil {
+		t.Error("disk rate -0.1 should fail validation")
+	}
+	if err := Disk(1, 5).Validate(); err != nil {
+		t.Errorf("Disk clamps its rate, should validate: %v", err)
+	}
+}
+
 func TestTruncateRateSelectsAKind(t *testing.T) {
 	inj := NewInjector(Config{Seed: 13, TruncateRate: 1})
 	kinds := make(map[TruncateKind]bool)

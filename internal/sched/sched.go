@@ -40,12 +40,23 @@ type Outcome struct {
 	RunsPerRound []int
 }
 
+// Stepper runs one campaign's turn within a scheduler round. The
+// default stepper calls c.Step() directly; a supervisor installs one
+// that wraps the step in panic recovery and a watchdog, may Replace the
+// slot's campaign with one restored from a checkpoint, or may decline
+// to step at all (a backoff round). Steppers for different slots run
+// concurrently; a stepper must only touch its own slot.
+type Stepper func(slot int, c *core.Campaign)
+
 // Scheduler drives campaigns to completion in concurrent round-robin
 // rounds over a shared fleet pool. Not safe for concurrent use; all
 // concurrency is internal.
 type Scheduler struct {
-	pool  *core.Pool
-	camps []*core.Campaign
+	pool    *core.Pool
+	camps   []*core.Campaign
+	outs    []Outcome
+	retired []bool
+	stepper Stepper
 }
 
 // New returns a scheduler whose shared fleet executes at most width
@@ -57,52 +68,99 @@ func New(width int) *Scheduler {
 // Width returns the shared fleet's concurrency bound.
 func (s *Scheduler) Width() int { return s.pool.Width() }
 
+// SetStepper installs a custom per-step driver. Must be set before the
+// first round; nil restores the default.
+func (s *Scheduler) SetStepper(fn Stepper) { s.stepper = fn }
+
 // Add enrolls a campaign, attaching it to the shared pool. Campaigns
 // must be added before Run and not stepped elsewhere.
 func (s *Scheduler) Add(c *core.Campaign) {
 	c.UsePool(s.pool)
 	s.camps = append(s.camps, c)
+	s.outs = append(s.outs, Outcome{Label: c.Label()})
+	s.retired = append(s.retired, false)
+}
+
+// Len returns the number of enrolled campaigns.
+func (s *Scheduler) Len() int { return len(s.camps) }
+
+// Campaign returns the campaign currently occupying a slot.
+func (s *Scheduler) Campaign(slot int) *core.Campaign { return s.camps[slot] }
+
+// Replace swaps a slot's campaign for another (one a supervisor
+// restored from a checkpoint), attaching it to the shared pool. Safe to
+// call from the slot's own stepper.
+func (s *Scheduler) Replace(slot int, c *core.Campaign) {
+	c.UsePool(s.pool)
+	s.camps[slot] = c
+}
+
+// Retire permanently excludes a slot from future rounds — the
+// supervisor's circuit breaker. Safe to call from the slot's own
+// stepper.
+func (s *Scheduler) Retire(slot int) { s.retired[slot] = true }
+
+// Retired reports whether a slot has been retired.
+func (s *Scheduler) Retired(slot int) bool { return s.retired[slot] }
+
+// RunRound steps every live (unfinished, unretired) campaign exactly
+// once, concurrently, and folds the round into the fairness trace. It
+// returns how many campaigns were live; 0 means the schedule is done.
+func (s *Scheduler) RunRound() int {
+	var active []int
+	for i, c := range s.camps {
+		if !s.retired[i] && !c.Finished() {
+			active = append(active, i)
+		}
+	}
+	if len(active) == 0 {
+		return 0
+	}
+	before := make(map[int]int, len(active))
+	for _, i := range active {
+		before[i] = s.camps[i].TotalRuns()
+	}
+	var wg sync.WaitGroup
+	for _, i := range active {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if s.stepper != nil {
+				s.stepper(i, s.camps[i])
+				return
+			}
+			s.camps[i].Step() // terminal errors surface via Result below
+		}(i)
+	}
+	wg.Wait()
+	// Record the round in enrollment order, after the barrier, so the
+	// outcome trace is independent of goroutine interleaving. A slot
+	// whose stepper replaced its campaign reads the replacement, which
+	// a checkpoint restore has positioned at the pre-crash boundary.
+	for _, i := range active {
+		s.outs[i].Rounds++
+		s.outs[i].RunsPerRound = append(s.outs[i].RunsPerRound, s.camps[i].TotalRuns()-before[i])
+	}
+	return len(active)
+}
+
+// Outcomes returns a copy of the per-slot outcomes in enrollment order.
+// Finished campaigns carry their Result; unfinished or retired slots
+// carry the campaign's not-finished error (a supervisor overlays those
+// with degraded or drained outcomes).
+func (s *Scheduler) Outcomes() []Outcome {
+	outs := append([]Outcome(nil), s.outs...)
+	for i := range outs {
+		outs[i].RunsPerRound = append([]int(nil), s.outs[i].RunsPerRound...)
+		outs[i].Result, outs[i].Err = s.camps[i].Result()
+	}
+	return outs
 }
 
 // Run steps every enrolled campaign to completion and returns the
 // outcomes in enrollment order.
 func (s *Scheduler) Run() []Outcome {
-	outs := make([]Outcome, len(s.camps))
-	for i, c := range s.camps {
-		outs[i].Label = c.Label()
+	for s.RunRound() > 0 {
 	}
-	for {
-		var active []int
-		for i, c := range s.camps {
-			if !c.Finished() {
-				active = append(active, i)
-			}
-		}
-		if len(active) == 0 {
-			break
-		}
-		before := make(map[int]int, len(active))
-		for _, i := range active {
-			before[i] = s.camps[i].TotalRuns()
-		}
-		var wg sync.WaitGroup
-		for _, i := range active {
-			wg.Add(1)
-			go func(c *core.Campaign) {
-				defer wg.Done()
-				c.Step() // terminal errors surface via Result below
-			}(s.camps[i])
-		}
-		wg.Wait()
-		// Record the round in enrollment order, after the barrier, so
-		// the outcome trace is independent of goroutine interleaving.
-		for _, i := range active {
-			outs[i].Rounds++
-			outs[i].RunsPerRound = append(outs[i].RunsPerRound, s.camps[i].TotalRuns()-before[i])
-		}
-	}
-	for i, c := range s.camps {
-		outs[i].Result, outs[i].Err = c.Result()
-	}
-	return outs
+	return s.Outcomes()
 }
