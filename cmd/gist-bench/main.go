@@ -22,11 +22,12 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, sketches, fig9, fig10, fig11, fig12, fig13, breakdown, swpt, extpt, chaos, perf, sched, crashloop, all")
-		bugList  = flag.String("bugs", "", "comma-separated bug subset (default: all 11)")
+		exp      = flag.String("exp", "all", "experiment: table1, sketches, fig9, fig10, fig11, fig12, fig13, breakdown, swpt, extpt, chaos, perf, sched, crashloop, service, all")
+		bugList  = flag.String("bugs", "", "comma-separated bug subset (default: all 12)")
 		runs     = flag.Int("runs", 0, "runs per measurement point (0 = experiment default)")
 		workers  = flag.Int("workers", 0, "fan-out width for suite sweeps and the fleet inside each diagnosis (0 = GOMAXPROCS); results are byte-identical for any value")
-		jsonPath = flag.String("json", "", "with -exp perf, sched, or crashloop: write the results to this JSON file (e.g. BENCH_fleet.json)")
+		jsonPath = flag.String("json", "", "with -exp perf, sched, crashloop, or service: write the results to this JSON file (e.g. BENCH_fleet.json)")
+		agents   = flag.Int("agents", 1000, "with -exp service: total simulated agent count across all tenants")
 
 		traceOut    = flag.String("trace-out", "", "write a JSONL phase-span event log to this file")
 		metricsJSON = flag.String("metrics-json", "", "write a metrics snapshot to this file on exit")
@@ -43,6 +44,9 @@ func main() {
 	}
 	if *runs < 0 {
 		fatalf("-runs %d is negative (0 means experiment default)", *runs)
+	}
+	if *agents < 1 {
+		fatalf("-agents %d must be at least 1", *agents)
 	}
 
 	if *validate != "" {
@@ -251,5 +255,26 @@ func main() {
 		}
 		fmt.Print(experiments.RenderCrashloop(res))
 		writeBench("crashloop", res.WriteJSON)
+	}
+	if *exp == "service" {
+		fmt.Printf("==== service ====\n\n")
+		// One cheap-to-diagnose bug keeps the experiment about the wire,
+		// not the diagnosis; -bugs overrides.
+		bug := "deadlock"
+		if *bugList != "" {
+			bug = strings.Split(*bugList, ",")[0]
+		}
+		perTenant := 20
+		if *agents < perTenant {
+			perTenant = *agents
+		}
+		tenants := *agents / perTenant
+		res, err := experiments.ServiceLoad(bug, tenants, perTenant, 0.05)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gist-bench: service: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(experiments.RenderService(res))
+		writeBench("service", res.WriteJSON)
 	}
 }

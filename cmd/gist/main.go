@@ -10,8 +10,10 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -26,6 +28,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/faults"
+	"repro/internal/service"
+	"repro/internal/service/agent"
 	"repro/internal/store"
 	"repro/internal/supervise"
 	"repro/internal/telemetry"
@@ -55,6 +59,23 @@ func main() {
 		traceOut    = flag.String("trace-out", "", "write a JSONL phase-span event log to this file")
 		metricsJSON = flag.String("metrics-json", "", "write a metrics snapshot (phases, counters, runtime stats) to this file on exit")
 		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060) and sample runtime stats periodically")
+
+		serveMode   = flag.Bool("serve", false, "run the diagnosis service: accept failure reports, schedule campaigns, stream tracking plans to agents, collect traces, serve sketches")
+		listen      = flag.String("listen", "127.0.0.1:8443", "with -serve: address to listen on (host:port)")
+		stateDir    = flag.String("state-dir", "state", "with -serve: checkpoint root directory (one subdirectory per tenant)")
+		lease       = flag.Duration("lease", 10*time.Second, "with -serve: task lease TTL before a silent agent's work is reassigned")
+		pollTimeout = flag.Duration("poll-timeout", 5*time.Second, "with -serve: cap on how long an agent long-poll is held open")
+
+		agentMode   = flag.Bool("agent", false, "run as an endpoint agent: long-poll -server for tracking tasks, execute runs, upload traces")
+		serverURL   = flag.String("server", "", "with -agent or -submit: diagnosis server base URL, e.g. http://127.0.0.1:8443")
+		tenant      = flag.String("tenant", "default", "tenant label (serve/agent/submit modes)")
+		agentID     = flag.String("agent-id", "", "with -agent: agent identifier (default agent-<pid>)")
+		agentPoll   = flag.Duration("agent-poll", 2*time.Second, "with -agent: long-poll wait per request")
+		rpcDeadline = flag.Duration("rpc-deadline", 30*time.Second, "with -agent or -submit: per-RPC attempt deadline (must exceed -agent-poll)")
+
+		submitMode = flag.Bool("submit", false, "submit -bug to -server, wait for the diagnosis, and print the sketch JSON (byte-identical to a local -full -json run)")
+		tfRate     = flag.Float64("transport-fault-rate", 0, "injected transport fault rate in [0,1]: drop/delay/duplicate/corrupt/disconnect at the codec boundary")
+		tfSeed     = flag.Int64("transport-fault-seed", 1, "transport fault-injector seed (fault streams are deterministic per seed)")
 	)
 	flag.Parse()
 
@@ -84,6 +105,73 @@ func main() {
 	}
 	if *iterDelay < 0 {
 		fatalf("-iter-delay %v is negative", *iterDelay)
+	}
+	if *tfRate < 0 || *tfRate > 1 {
+		fatalf("-transport-fault-rate %g outside [0,1]", *tfRate)
+	}
+
+	// Service modes. Each validates its flag set up front (exit 2 naming
+	// the flag) and runs to completion without touching the in-process
+	// diagnosis path below.
+	modes := 0
+	for _, on := range []bool{*serveMode, *agentMode, *submitMode} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		fatalf("-serve, -agent, and -submit are mutually exclusive")
+	}
+	if *serveMode {
+		sf := service.ServeFlags{
+			Listen:             *listen,
+			StateDir:           *stateDir,
+			Lease:              *lease,
+			PollTimeout:        *pollTimeout,
+			TransportFaultRate: *tfRate,
+		}
+		if err := sf.Validate(); err != nil {
+			fatalf("%v", err)
+		}
+		runServe(sf, *ckptFsync)
+		return
+	}
+	if *agentMode {
+		id := *agentID
+		if id == "" {
+			id = fmt.Sprintf("agent-%d", os.Getpid())
+		}
+		af := service.AgentFlags{
+			Server:             *serverURL,
+			Tenant:             *tenant,
+			AgentID:            id,
+			AgentPoll:          *agentPoll,
+			RPCDeadline:        *rpcDeadline,
+			TransportFaultRate: *tfRate,
+		}
+		if err := af.Validate(); err != nil {
+			fatalf("%v", err)
+		}
+		runAgent(af, *tfSeed, fatalf)
+		return
+	}
+	if *submitMode {
+		af := service.AgentFlags{
+			Server:             *serverURL,
+			Tenant:             *tenant,
+			AgentID:            "submitter",
+			AgentPoll:          *agentPoll,
+			RPCDeadline:        *rpcDeadline,
+			TransportFaultRate: *tfRate,
+		}
+		if err := af.Validate(); err != nil {
+			fatalf("%v", err)
+		}
+		if bugs.ByName(*bugName) == nil {
+			fatalf("unknown bug %q (use -list)", *bugName)
+		}
+		runSubmit(af, *bugName, *tfSeed)
+		return
 	}
 
 	if *list {
@@ -210,6 +298,124 @@ func main() {
 	fmt.Printf("Accuracy vs. hand-written ideal sketch: relevance %.1f%%, ordering %.1f%%, overall %.1f%%\n",
 		rel, ord, overall)
 	fmt.Printf("\nHow developers fixed it: %s\n", b.Fix)
+}
+
+// runServe runs the diagnosis service until SIGINT/SIGTERM. Checkpoints
+// land on the real filesystem under -state-dir (one subdirectory per
+// tenant), so a restarted server resumes in-flight campaigns from their
+// last durable generation.
+func runServe(f service.ServeFlags, fsync bool) {
+	srv := service.NewServer(service.Options{
+		Backend:     store.DirBackend{},
+		StateRoot:   f.StateDir,
+		LeaseTTL:    f.Lease,
+		PollTimeout: f.PollTimeout,
+		NoFsync:     !fsync,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "gist: serve: "+format+"\n", args...)
+		},
+	})
+	ln, err := net.Listen("tcp", f.Listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gist: -listen: %v\n", err)
+		os.Exit(2)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigCh
+		hs.Close()
+	}()
+	fmt.Fprintf(os.Stderr, "gist: serving on %s (state in %s, lease %v)\n", ln.Addr(), f.StateDir, f.Lease)
+	err = hs.Serve(ln)
+	srv.Close()
+	if err != nil && err != http.ErrServerClosed {
+		fmt.Fprintf(os.Stderr, "gist: serve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// runAgent serves tasks until SIGINT/SIGTERM.
+func runAgent(f service.AgentFlags, tfSeed int64, fatalf func(string, ...any)) {
+	cfg := agent.Config{
+		Server:      f.Server,
+		Tenant:      f.Tenant,
+		ID:          f.AgentID,
+		Poll:        f.AgentPoll,
+		RPCDeadline: f.RPCDeadline,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "gist: agent: "+format+"\n", args...)
+		},
+	}
+	if f.TransportFaultRate > 0 {
+		cfg.Faults = faults.Transport(tfSeed, f.TransportFaultRate)
+	}
+	ag, err := agent.New(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	fmt.Fprintf(os.Stderr, "gist: agent %s polling %s as tenant %s\n", f.AgentID, f.Server, f.Tenant)
+	if err := ag.Run(ctx); err != nil && ctx.Err() == nil {
+		fmt.Fprintf(os.Stderr, "gist: agent: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// runSubmit submits one failure report, waits for the diagnosis, and
+// prints the sketch JSON exactly as the server shipped it. The server
+// runs campaigns to completion (no developer oracle), so the output is
+// byte-identical to a local `gist -bug X -full -json` run.
+func runSubmit(f service.AgentFlags, bug string, tfSeed int64) {
+	opts := service.ClientOptions{
+		BaseURL:  f.Server,
+		Tenant:   f.Tenant,
+		Actor:    f.AgentID,
+		Deadline: f.RPCDeadline,
+	}
+	if f.TransportFaultRate > 0 {
+		opts.Faults = faults.Transport(tfSeed, f.TransportFaultRate)
+	}
+	cli := service.NewClient(opts)
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	die := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "gist: submit: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	if err := cli.Call(ctx, service.PathSubmit, &service.SubmitRequest{Tenant: f.Tenant, Bug: bug}, nil); err != nil {
+		die("%v", err)
+	}
+	var st service.StatusResponse
+	for {
+		if err := cli.Call(ctx, service.PathStatus, &service.StatusRequest{Tenant: f.Tenant, Bug: bug}, &st); err != nil {
+			die("%v", err)
+		}
+		if st.State == service.StateDone || st.State == service.StateFailed {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			die("interrupted while %s", st.State)
+		case <-time.After(500 * time.Millisecond):
+		}
+	}
+	if st.State == service.StateFailed {
+		die("diagnosis failed: %s", st.Err)
+	}
+	if st.LowConfidence {
+		fmt.Fprintf(os.Stderr, "gist: submit: low-confidence sketch (degraded fleet, %d restarts)\n", st.Restarts)
+	}
+	var sk service.SketchResponse
+	if err := cli.Call(ctx, service.PathSketch, &service.SketchRequest{Tenant: f.Tenant, Bug: bug}, &sk); err != nil {
+		die("%v", err)
+	}
+	if !sk.Ready {
+		die("campaign finished but no sketch is available")
+	}
+	fmt.Println(string(sk.Sketch))
 }
 
 // runOpts carries the durability and supervision knobs into diagnose.

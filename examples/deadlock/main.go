@@ -2,10 +2,11 @@
 // assertion violations, deadlocks, and hangs (§3.3) — because the VM
 // turns them into failure reports with a failing statement and stack.
 //
-// The program is a classic lock-order inversion: one thread locks A then
-// B, the other locks B then A. Some schedules interleave the two lock
-// acquisitions and every thread blocks forever; the failure sketch shows
-// the two lock statements of the cycle.
+// The program is the registered "deadlock" suite bug: a classic
+// lock-order inversion where one thread locks giant then cache, the
+// other locks cache then giant. Some schedules interleave the two lock
+// acquisitions and every thread blocks forever; the failure sketch
+// shows the lock statements of the cycle.
 //
 // Run with: go run ./examples/deadlock
 package main
@@ -14,60 +15,21 @@ import (
 	"fmt"
 	"log"
 
+	"repro/internal/bugs"
 	"repro/internal/core"
-	"repro/internal/ir"
 )
 
-const program = `
-global int giant = 0;
-global int cache = 0;
-global int hits = 0;
-int work(int n) {
-	int acc = 0;
-	for (int i = 0; i < n; i++) { acc = acc + i % 3; }
-	return acc;
-}
-void request(int arg) {
-	lock(&giant);
-	int w = work(40);
-	lock(&cache);
-	hits = hits + 1;
-	unlock(&cache);
-	unlock(&giant);
-}
-void evict(int arg) {
-	lock(&cache);
-	int w = work(40);
-	lock(&giant);
-	hits = hits - 1;
-	unlock(&giant);
-	unlock(&cache);
-}
-int main() {
-	int warm = work(2500);
-	int r = spawn(request, 0);
-	int e = spawn(evict, 0);
-	join(r);
-	join(e);
-	return hits;
-}`
-
 func main() {
-	prog, err := ir.Compile("locks.mc", program)
-	if err != nil {
-		log.Fatalf("compile: %v", err)
+	b := bugs.ByName("deadlock")
+	if b == nil {
+		log.Fatal("deadlock bug missing from the registered suite")
 	}
-	res, err := core.Run(core.Config{
-		Prog:      prog,
-		Title:     "lock-order inversion",
-		Endpoints: 30,
-		SeedBase:  1,
-	})
+	res, err := core.Run(b.GistConfig())
 	if err != nil {
 		log.Fatalf("gist: %v", err)
 	}
 	fmt.Printf("Diagnosed: %s (first failure after %d runs, %d recurrences used)\n\n",
 		res.Report.Kind, res.DiscoveryRuns, res.FailureRecurrences)
 	fmt.Println(res.Sketch.Render())
-	fmt.Println("Fix: acquire giant and cache in a single global order.")
+	fmt.Printf("Fix: %s.\n", b.Fix)
 }

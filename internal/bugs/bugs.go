@@ -177,6 +177,7 @@ var tableRows = []string{
 	"apache-1", "apache-2", "apache-3", "apache-4",
 	"cppcheck-1", "cppcheck-2",
 	"curl", "transmission", "sqlite", "memcached", "pbzip2",
+	"deadlock",
 }
 
 func tableOrder(name string) int {

@@ -9,13 +9,14 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 11 {
-		t.Fatalf("suite has %d bugs, want 11", len(all))
+	if len(all) != 12 {
+		t.Fatalf("suite has %d bugs, want 12", len(all))
 	}
 	want := []string{
 		"apache-1", "apache-2", "apache-3", "apache-4",
 		"cppcheck-1", "cppcheck-2",
 		"curl", "transmission", "sqlite", "memcached", "pbzip2",
+		"deadlock",
 	}
 	for i, name := range want {
 		if all[i].Name != name {
@@ -28,7 +29,7 @@ func TestRegistryComplete(t *testing.T) {
 	if ByName("nope") != nil {
 		t.Error("ByName of unknown bug should be nil")
 	}
-	if len(Names()) != 11 {
+	if len(Names()) != 12 {
 		t.Error("Names() incomplete")
 	}
 }

@@ -635,3 +635,61 @@ int main() {
 	},
 	PreemptMean: 2, Endpoints: 30,
 })
+
+// Deadlock is the lock-order inversion from examples/deadlock, promoted
+// into the registered suite: one thread locks giant then cache, the
+// other locks cache then giant, and some schedules interleave the two
+// acquisitions so every thread blocks forever. Gist handles failures
+// beyond crashes — the VM turns the hang into a failure report whose
+// identity includes the other blocked thread's program counter, and the
+// sketch shows the lock statements of the cycle.
+var Deadlock = register(&Bug{
+	Name: "deadlock", Software: "Cache server (lock-order inversion)", Version: "1.0", BugID: "N/A", RealLOC: 58,
+	Class: "concurrency, deadlock", Concurrency: true,
+	Fix: "acquire giant and cache in a single global order everywhere",
+	Source: `global int giant = 0;
+global int cache = 0;
+global int hits = 0;
+int work(int n) {
+	int acc = 0;
+	for (int i = 0; i < n; i++) { acc = acc + i % 3; }
+	return acc;
+}
+void request(int arg) {
+	lock(&giant); int rg = 1;
+	int w1 = work(8);
+	lock(&cache); int rc = 1;
+	hits = hits + 1;
+	unlock(&cache);
+	unlock(&giant);
+}
+void evict(int arg) {
+	lock(&cache); int ec = 1;
+	int w2 = work(8);
+	lock(&giant); int eg = 1;
+	hits = hits - 1;
+	unlock(&giant);
+	unlock(&cache);
+}
+int main() {
+	int warm = work(2500);
+	int r = spawn(request, 0);
+	int s = work(10);
+	int e = spawn(evict, 0);
+	join(r);
+	join(e);
+	return hits;
+}`,
+	FaultKinds: []vm.FaultKind{vm.FaultDeadlock},
+	IdealLines: []string{
+		"lock(&giant); int rg = 1;",
+		"lock(&cache); int rc = 1;",
+		"lock(&cache); int ec = 1;",
+		"lock(&giant); int eg = 1;",
+	},
+	IdealOrder: [][2]string{
+		{"lock(&giant); int rg = 1;", "lock(&giant); int eg = 1;"},
+		{"lock(&cache); int ec = 1;", "lock(&cache); int rc = 1;"},
+	},
+	PreemptMean: 3, Endpoints: 30,
+})

@@ -41,7 +41,8 @@ type Campaign struct {
 	cfg    Config // defaults applied
 	label  string // telemetry tenant label (cfg.Label)
 	report *vm.FailureReport
-	pool   *Pool // optional shared fleet; nil = private pool
+	pool   *Pool  // optional shared fleet; nil = private pool
+	runner Runner // optional remote fleet; nil = run in-process
 
 	g   *cfg.TICFG
 	sl  *slicer.Slice
@@ -173,13 +174,22 @@ func (c *Campaign) chunkWidth() int {
 	return c.cfg.Workers
 }
 
-// runJobs executes one batch on the campaign's fleet: the shared pool
-// when attached, a private bounded pool otherwise. Results come back in
-// job order either way.
-func (c *Campaign) runJobs(jobs []fleetJob) []*RunTrace {
+// UseRunner routes the campaign's production runs through r instead of
+// the in-process fleet — the service's seam. Passing nil restores the
+// in-process fleet. Seed binding, admission order, and every counter
+// are unchanged: the runner only decides where runs execute.
+func (c *Campaign) UseRunner(r Runner) { c.runner = r }
+
+// runJobs executes one batch on the campaign's fleet: the attached
+// Runner when present, the shared pool when attached, a private bounded
+// pool otherwise. Results come back in job order every way.
+func (c *Campaign) runJobs(jobs []RunJob) []*RunTrace {
+	if c.runner != nil {
+		return c.runner.RunBatch(c.st.plan, jobs)
+	}
 	if c.pool != nil {
 		return parallelMapPool(len(jobs), c.pool, func(i int) *RunTrace {
-			return RunInstrumentedFaults(c.st.plan, jobs[i].spec, jobs[i].dec)
+			return RunInstrumentedFaults(c.st.plan, jobs[i].Spec, jobs[i].Dec)
 		})
 	}
 	return runFleet(c.st.plan, jobs, c.cfg.Workers)
@@ -194,17 +204,17 @@ func (c *Campaign) need() bool {
 // workload, fault decision — at dispatch time, before the worker pool
 // touches it, so parallel execution cannot perturb the seed-to-run
 // mapping.
-func (c *Campaign) makeJob(e int, s int64) fleetJob {
+func (c *Campaign) makeJob(e int, s int64) RunJob {
 	cfg := c.cfg
-	return fleetJob{
-		spec: RunSpec{
+	return RunJob{
+		Spec: RunSpec{
 			EndpointID:  e,
 			Seed:        s,
 			Workload:    cfg.workloadFor(e),
 			PreemptMean: cfg.PreemptMean,
 			MaxSteps:    cfg.MaxSteps,
 		},
-		dec: c.inj.ForRun(e, s),
+		Dec: c.inj.ForRun(e, s),
 	}
 }
 
@@ -213,18 +223,18 @@ func (c *Campaign) makeJob(e int, s int64) fleetJob {
 // are recorded for the retry pass, arriving reports pass server-side
 // validation, and undecodable traces are quarantined away from
 // predictor extraction while keeping their outcome.
-func (c *Campaign) admit(job fleetJob, rt *RunTrace) {
+func (c *Campaign) admit(job RunJob, rt *RunTrace) {
 	cfg := c.cfg
 	tel := cfg.Telemetry
 	st := &c.st
-	spec := job.spec
+	spec := job.Spec
 	// Fault-class accounting happens here, not at dispatch: admission
 	// order is the part of the pipeline that is byte-identical at any
 	// worker width, so the counters are width-stable even though
 	// speculative chunks over-dispatch.
-	if tel != nil && job.dec.Any() {
+	if tel != nil && job.Dec.Any() {
 		tel.AddL(c.label, "faults.injected_runs", 1)
-		countFaults(tel, c.label, job.dec)
+		countFaults(tel, c.label, job.Dec)
 	}
 	st.health.Dispatched++
 	c.res.TotalRuns++
@@ -318,7 +328,7 @@ func (c *Campaign) Dispatch() {
 		if done+n > budget {
 			n = budget - done
 		}
-		jobs := make([]fleetJob, n)
+		jobs := make([]RunJob, n)
 		for j := range jobs {
 			jobs[j] = c.makeJob((done+j)%cfg.Endpoints, c.seed+int64(j))
 		}
@@ -349,7 +359,7 @@ func (c *Campaign) Admit() {
 		st.health.BackoffBatches += backoff
 		batch := st.lost
 		st.lost = nil
-		jobs := make([]fleetJob, len(batch))
+		jobs := make([]RunJob, len(batch))
 		for j, e := range batch {
 			jobs[j] = c.makeJob(e, c.seed+int64(j))
 		}

@@ -23,11 +23,23 @@ import (
 // FleetHealth counter is byte-identical for any worker count, including
 // under chaos injection.
 
-// fleetJob is one production run awaiting execution: the spec the
-// endpoint will run and the fault decision injected into it.
-type fleetJob struct {
-	spec RunSpec
-	dec  faults.Decision
+// RunJob is one production run awaiting execution: the spec the
+// endpoint will run and the fault decision injected into it. It is
+// exported so an alternative Runner (the service's remote fleet) can
+// execute the same batch the in-process fleet would.
+type RunJob struct {
+	Spec RunSpec
+	Dec  faults.Decision
+}
+
+// Runner executes one dispatched batch and returns the traces in job
+// order, nil for runs whose endpoint crashed or whose trace was lost in
+// transit. Because every run is a pure function of (plan, spec,
+// decision) and the campaign admits results strictly in dispatch order,
+// swapping the in-process fleet for a remote Runner cannot change a
+// single byte of the diagnosis — only where the runs execute.
+type Runner interface {
+	RunBatch(plan *Plan, jobs []RunJob) []*RunTrace
 }
 
 // parallelMap evaluates f(0..n-1) on up to workers goroutines and
@@ -66,9 +78,9 @@ func parallelMap[T any](n, workers int, f func(int) T) []T {
 
 // runFleet executes the batch concurrently and returns the traces in
 // job order.
-func runFleet(plan *Plan, jobs []fleetJob, workers int) []*RunTrace {
+func runFleet(plan *Plan, jobs []RunJob, workers int) []*RunTrace {
 	return parallelMap(len(jobs), workers, func(i int) *RunTrace {
-		return RunInstrumentedFaults(plan, jobs[i].spec, jobs[i].dec)
+		return RunInstrumentedFaults(plan, jobs[i].Spec, jobs[i].Dec)
 	})
 }
 

@@ -101,3 +101,13 @@ func (m *Meter) Add(o *Meter) {
 	m.baseMC += o.baseMC
 	m.extraMC += o.extraMC
 }
+
+// MC returns the raw millicycle counters. Together with MeterFromMC it
+// lets a wire codec round-trip a meter exactly; cycle-level getters
+// lose the sub-cycle precision admission control depends on.
+func (m Meter) MC() (base, extra int64) { return m.baseMC, m.extraMC }
+
+// MeterFromMC rebuilds a meter from raw millicycle counters.
+func MeterFromMC(base, extra int64) Meter {
+	return Meter{baseMC: base, extraMC: extra}
+}

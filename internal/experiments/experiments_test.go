@@ -14,7 +14,7 @@ import (
 func fastSuite() []*bugs.Bug { return Suite("pbzip2", "curl", "apache-1") }
 
 func TestSuiteSelection(t *testing.T) {
-	if got := len(Suite()); got != 11 {
+	if got := len(Suite()); got != 12 {
 		t.Fatalf("full suite: %d", got)
 	}
 	if got := len(Suite("pbzip2", "nope", "curl")); got != 2 {

@@ -254,8 +254,10 @@ func ValidateBenchJSON(data []byte) error {
 		return ValidateSchedJSON(data)
 	case "crashloop":
 		return ValidateCrashloopJSON(data)
+	case "service":
+		return ValidateServiceJSON(data)
 	default:
-		return fmt.Errorf("bench json: unknown experiment %q (want perf, sched, or crashloop)", probe.Experiment)
+		return fmt.Errorf("bench json: unknown experiment %q (want perf, sched, crashloop, or service)", probe.Experiment)
 	}
 }
 

@@ -66,6 +66,15 @@ type Config struct {
 	// byte-identical.
 	DiskRate float64
 
+	// TransportRate is the probability one service RPC attempt is hit by
+	// a transport fault (dropped request, delayed response, duplicated
+	// delivery, corrupted body, or mid-response disconnect, picked
+	// uniformly). Like DiskRate this is not a per-run class: decisions
+	// are drawn per (tenant, agent, request, attempt) by ForRequest, so
+	// retried attempts draw fresh decisions and an unlucky request can
+	// never wedge an agent forever.
+	TransportRate float64
+
 	// DropFraction is the fraction of traps dropped within an affected
 	// run; 0 means 0.3.
 	DropFraction float64
@@ -79,7 +88,7 @@ type Config struct {
 func (c Config) Enabled() bool {
 	return c.CrashRate > 0 || c.HangRate > 0 || c.OverflowRate > 0 ||
 		c.CorruptRate > 0 || c.TrapDropRate > 0 || c.TrapReorderRate > 0 ||
-		c.TruncateRate > 0 || c.DiskRate > 0
+		c.TruncateRate > 0 || c.DiskRate > 0 || c.TransportRate > 0
 }
 
 // Rates returns the per-run pipeline class probabilities by name, in a
@@ -110,6 +119,9 @@ func (c Config) Validate() error {
 	}
 	if c.DiskRate < 0 || c.DiskRate > 1 {
 		return fmt.Errorf("faults: disk rate %g outside [0,1]", c.DiskRate)
+	}
+	if c.TransportRate < 0 || c.TransportRate > 1 {
+		return fmt.Errorf("faults: transport rate %g outside [0,1]", c.TransportRate)
 	}
 	if c.DropFraction < 0 || c.DropFraction > 1 {
 		return fmt.Errorf("faults: drop fraction %g outside [0,1]", c.DropFraction)
@@ -158,6 +170,20 @@ func Disk(seed int64, rate float64) Config {
 		rate = 1
 	}
 	return Config{Seed: seed, DiskRate: rate}
+}
+
+// Transport returns a Config injecting only service-transport faults:
+// rate is the probability one RPC attempt is hit by exactly one of the
+// five transport fault kinds (picked uniformly). rate is clamped to
+// [0, 1] like Composite's. This is the knob the service chaos tests and
+// the -transport-fault-rate flag sweep.
+func Transport(seed int64, rate float64) Config {
+	if rate < 0 {
+		rate = 0
+	} else if rate > 1 {
+		rate = 1
+	}
+	return Config{Seed: seed, TransportRate: rate}
 }
 
 // String summarizes the configuration for experiment tables.
@@ -402,6 +428,100 @@ func (d DiskDecision) FlipByte(n int) (pos int, mask byte) {
 		return 0, 1
 	}
 	return d.rng.Intn(n), byte(1 + d.rng.Intn(255))
+}
+
+// TransportKind selects which wire-level fault an RPC attempt suffers.
+// These model the classic failure modes of a datacenter transport: a
+// request that never arrives, a response that arrives after the caller
+// gave up, a retry storm delivering the same request twice, bytes
+// damaged in flight, and a connection reset after the server already
+// processed the call. The last three are precisely the cases that make
+// idempotency keys and body checksums load-bearing.
+type TransportKind int
+
+// Transport fault kinds.
+const (
+	// TransportNone: the attempt goes through clean.
+	TransportNone TransportKind = iota
+	// TransportDrop: the request is lost before reaching the server.
+	TransportDrop
+	// TransportDelay: the server processes the call but the response
+	// arrives after the caller's deadline; the caller must retry an
+	// already-applied request.
+	TransportDelay
+	// TransportDuplicate: the request is delivered twice; the server
+	// must deduplicate.
+	TransportDuplicate
+	// TransportCorrupt: request body bytes are flipped in flight; the
+	// server's checksum must reject the call.
+	TransportCorrupt
+	// TransportDisconnect: the connection is reset mid-response, after
+	// the server processed the call.
+	TransportDisconnect
+)
+
+// String names the kind for logs and telemetry.
+func (k TransportKind) String() string {
+	switch k {
+	case TransportNone:
+		return "none"
+	case TransportDrop:
+		return "drop"
+	case TransportDelay:
+		return "delay"
+	case TransportDuplicate:
+		return "duplicate"
+	case TransportCorrupt:
+		return "corrupt"
+	case TransportDisconnect:
+		return "disconnect"
+	}
+	return fmt.Sprintf("transport-kind-%d", int(k))
+}
+
+// TransportDecision is the wire fault injected into one RPC attempt.
+// The zero value injects nothing.
+type TransportDecision struct {
+	Kind TransportKind
+	rng  *rand.Rand
+}
+
+// Any reports whether the decision injects a fault.
+func (d TransportDecision) Any() bool { return d.Kind != TransportNone }
+
+// CorruptBody flips a few bytes of a copy of body, modeling in-flight
+// damage the server-side checksum must catch. Empty bodies pass through
+// untouched.
+func (d TransportDecision) CorruptBody(body []byte) []byte {
+	if len(body) == 0 {
+		return body
+	}
+	out := append([]byte(nil), body...)
+	n := 1 + d.rng.Intn(4)
+	for k := 0; k < n; k++ {
+		pos := d.rng.Intn(len(out))
+		out[pos] ^= byte(1 + d.rng.Intn(255))
+	}
+	return out
+}
+
+// ForRequest derives the transport-fault decision for one RPC attempt,
+// a pure function of the injector seed and the attempt's identity
+// (tenant, agent, request key, attempt number). Attempts are counted
+// per request, so every retry draws a fresh decision and a faulted
+// request can never starve forever. Nil-safe.
+func (i *Injector) ForRequest(tenant, agent, request string, attempt int) TransportDecision {
+	if i == nil || i.cfg.TransportRate <= 0 {
+		return TransportDecision{}
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "net|%d|%s|%s|%s|%d", i.cfg.Seed, tenant, agent, request, attempt)
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+	d := TransportDecision{rng: rng}
+	if rng.Float64() < i.cfg.TransportRate {
+		d.Kind = TransportKind(1 + rng.Intn(5))
+	}
+	return d
 }
 
 // ForCheckpoint derives the disk-fault decision for one checkpoint

@@ -284,3 +284,103 @@ func TestTruncateRateSelectsAKind(t *testing.T) {
 		t.Errorf("50 decisions hit %d truncation kinds, want all 3", len(kinds))
 	}
 }
+
+func TestTransportDecisions(t *testing.T) {
+	// Disabled and nil injectors never inject.
+	if Transport(1, 0).Enabled() {
+		t.Error("transport rate 0 must stay disabled")
+	}
+	var nilInj *Injector
+	if nilInj.ForRequest("t", "a", "r", 0).Any() {
+		t.Error("nil injector produced a transport fault")
+	}
+
+	inj := NewInjector(Transport(7, 1))
+	if inj == nil {
+		t.Fatal("transport rate 1 should enable injection")
+	}
+	// Deterministic per (tenant, agent, request, attempt): identical
+	// injectors agree.
+	other := NewInjector(Transport(7, 1))
+	kinds := make(map[TransportKind]bool)
+	for att := 0; att < 64; att++ {
+		d := inj.ForRequest("acme", "agent-0", "upload/42", att)
+		if !d.Any() {
+			t.Fatalf("TransportRate=1 produced no fault at attempt %d", att)
+		}
+		if d2 := other.ForRequest("acme", "agent-0", "upload/42", att); d2.Kind != d.Kind {
+			t.Fatalf("attempt %d: kinds differ across identical injectors", att)
+		}
+		kinds[d.Kind] = true
+	}
+	if len(kinds) != 5 {
+		t.Errorf("64 decisions hit %d transport-fault kinds, want all 5", len(kinds))
+	}
+	// Every identity component salts the stream.
+	differs := func(f func(att int) TransportDecision) bool {
+		for att := 0; att < 64; att++ {
+			if f(att).Kind != inj.ForRequest("acme", "agent-0", "upload/42", att).Kind {
+				return true
+			}
+		}
+		return false
+	}
+	if !differs(func(att int) TransportDecision { return inj.ForRequest("umbrella", "agent-0", "upload/42", att) }) {
+		t.Error("tenant does not salt the transport stream")
+	}
+	if !differs(func(att int) TransportDecision { return inj.ForRequest("acme", "agent-1", "upload/42", att) }) {
+		t.Error("agent does not salt the transport stream")
+	}
+	if !differs(func(att int) TransportDecision { return inj.ForRequest("acme", "agent-0", "poll/42", att) }) {
+		t.Error("request key does not salt the transport stream")
+	}
+	// Transport-only injection never perturbs the per-run or disk
+	// streams.
+	if inj.ForRun(0, 0).Any() {
+		t.Error("transport-only config injected a pipeline fault")
+	}
+	if inj.ForCheckpoint("x", 1).Any() {
+		t.Error("transport-only config injected a disk fault")
+	}
+}
+
+func TestTransportCorruptBodyDamagesCopy(t *testing.T) {
+	inj := NewInjector(Transport(11, 1))
+	var d TransportDecision
+	for att := 0; ; att++ {
+		d = inj.ForRequest("t", "a", "r", att)
+		if d.Kind == TransportCorrupt {
+			break
+		}
+		if att > 256 {
+			t.Fatal("no corrupt decision in 256 attempts at rate 1")
+		}
+	}
+	body := []byte("0123456789abcdef")
+	orig := append([]byte(nil), body...)
+	out := d.CorruptBody(body)
+	if string(body) != string(orig) {
+		t.Error("CorruptBody mutated the input")
+	}
+	if string(out) == string(orig) {
+		t.Error("CorruptBody left the copy undamaged")
+	}
+	if len(out) != len(orig) {
+		t.Errorf("CorruptBody changed length %d -> %d", len(orig), len(out))
+	}
+	if got := d.CorruptBody(nil); got != nil {
+		t.Error("CorruptBody of empty body should pass through")
+	}
+}
+
+func TestTransportRateValidation(t *testing.T) {
+	if err := (Config{TransportRate: 1.5}).Validate(); err == nil {
+		t.Error("transport rate 1.5 should fail validation")
+	}
+	if err := (Config{TransportRate: -0.1}).Validate(); err == nil {
+		t.Error("transport rate -0.1 should fail validation")
+	}
+	if err := Transport(1, 5).Validate(); err != nil {
+		t.Errorf("Transport clamps its rate, should validate: %v", err)
+	}
+}

@@ -1,0 +1,104 @@
+package service
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func validServeFlags() ServeFlags {
+	return ServeFlags{
+		Listen:      "127.0.0.1:8443",
+		StateDir:    "state",
+		Lease:       10 * time.Second,
+		PollTimeout: 5 * time.Second,
+	}
+}
+
+func TestServeFlagValidation(t *testing.T) {
+	cases := []struct {
+		name     string
+		mutate   func(*ServeFlags)
+		wantFlag string // "" means valid
+	}{
+		{"valid", func(f *ServeFlags) {}, ""},
+		{"valid all-interfaces", func(f *ServeFlags) { f.Listen = ":8443" }, ""},
+		{"empty listen", func(f *ServeFlags) { f.Listen = "" }, "-listen"},
+		{"listen without port", func(f *ServeFlags) { f.Listen = "127.0.0.1" }, "-listen"},
+		{"listen bare port", func(f *ServeFlags) { f.Listen = "8443" }, "-listen"},
+		{"empty state dir", func(f *ServeFlags) { f.StateDir = "" }, "-state-dir"},
+		{"zero lease", func(f *ServeFlags) { f.Lease = 0 }, "-lease"},
+		{"negative lease", func(f *ServeFlags) { f.Lease = -time.Second }, "-lease"},
+		{"zero poll timeout", func(f *ServeFlags) { f.PollTimeout = 0 }, "-poll-timeout"},
+		{"fault rate below range", func(f *ServeFlags) { f.TransportFaultRate = -0.1 }, "-transport-fault-rate"},
+		{"fault rate above range", func(f *ServeFlags) { f.TransportFaultRate = 1.1 }, "-transport-fault-rate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := validServeFlags()
+			tc.mutate(&f)
+			err := f.Validate()
+			if tc.wantFlag == "" {
+				if err != nil {
+					t.Fatalf("valid flags rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("invalid flags accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantFlag) {
+				t.Fatalf("error %q does not name %s", err, tc.wantFlag)
+			}
+		})
+	}
+}
+
+func validAgentFlags() AgentFlags {
+	return AgentFlags{
+		Server:      "http://127.0.0.1:8443",
+		Tenant:      "acme",
+		AgentID:     "ep-1",
+		AgentPoll:   2 * time.Second,
+		RPCDeadline: 30 * time.Second,
+	}
+}
+
+func TestAgentFlagValidation(t *testing.T) {
+	cases := []struct {
+		name     string
+		mutate   func(*AgentFlags)
+		wantFlag string
+	}{
+		{"valid", func(f *AgentFlags) {}, ""},
+		{"empty server", func(f *AgentFlags) { f.Server = "" }, "-server"},
+		{"server without scheme", func(f *AgentFlags) { f.Server = "127.0.0.1:8443" }, "-server"},
+		{"empty tenant", func(f *AgentFlags) { f.Tenant = "" }, "-tenant"},
+		{"empty agent id", func(f *AgentFlags) { f.AgentID = "" }, "-agent-id"},
+		{"zero poll", func(f *AgentFlags) { f.AgentPoll = 0 }, "-agent-poll"},
+		{"negative poll", func(f *AgentFlags) { f.AgentPoll = -time.Second }, "-agent-poll"},
+		{"zero deadline", func(f *AgentFlags) { f.RPCDeadline = 0 }, "-rpc-deadline"},
+		{"deadline under poll", func(f *AgentFlags) { f.RPCDeadline = time.Second }, "-rpc-deadline"},
+		{"fault rate below range", func(f *AgentFlags) { f.TransportFaultRate = -0.01 }, "-transport-fault-rate"},
+		{"fault rate above range", func(f *AgentFlags) { f.TransportFaultRate = 2 }, "-transport-fault-rate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := validAgentFlags()
+			tc.mutate(&f)
+			err := f.Validate()
+			if tc.wantFlag == "" {
+				if err != nil {
+					t.Fatalf("valid flags rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("invalid flags accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantFlag) {
+				t.Fatalf("error %q does not name %s", err, tc.wantFlag)
+			}
+		})
+	}
+}

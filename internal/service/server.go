@@ -1,0 +1,874 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/bugs"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/store"
+	"repro/internal/supervise"
+	"repro/internal/telemetry"
+)
+
+// Options tunes the diagnosis server. The zero value is usable: state
+// lives on an in-memory backend, leases last 10 seconds, and campaigns
+// are configured from the registered bug suite.
+type Options struct {
+	// Backend is the checkpoint medium; nil means in-memory (process
+	// lifetime only). The CLI passes a DirBackend when -state-dir is
+	// set.
+	Backend store.Backend
+	// StateRoot is the directory (on Backend) under which per-tenant
+	// checkpoint stores live; "" means "state".
+	StateRoot string
+	// LeaseTTL is how long an agent holds a task before the reaper
+	// reassigns it (default 10s).
+	LeaseTTL time.Duration
+	// PollTimeout caps how long a long-poll is held open (default 5s).
+	PollTimeout time.Duration
+	// MaxTaskAttempts is how many lease grants a task gets before it is
+	// reported lost to the campaign (default 3).
+	MaxTaskAttempts int
+	// NoAgentTimeout is how long a queued task may sit with no live
+	// agent in its tenant before it is reported lost, which lets a
+	// campaign degrade to a low-confidence sketch instead of hanging
+	// when the whole fleet vanishes (default 4×LeaseTTL).
+	NoAgentTimeout time.Duration
+	// StepTimeout is the supervisor watchdog deadline per campaign
+	// step. Remote steps wait on real agents, so the default is a
+	// generous 5 minutes — watchdog trips restore from checkpoint and
+	// re-dispatch, they are for wedged campaigns, not slow fleets.
+	StepTimeout time.Duration
+	// NoFsync disables checkpoint fsync (mirrors the CLI flag).
+	NoFsync bool
+	// ConfigFor maps a bug name to its campaign configuration; nil
+	// means the registered bug suite's GistConfig.
+	ConfigFor func(bug string) (core.Config, error)
+	// Telemetry receives service.* counters; nil is fine.
+	Telemetry *telemetry.Tracer
+	// Logf, when non-nil, receives one line per notable server event.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Backend == nil {
+		o.Backend = store.NewMemBackend()
+	}
+	if o.StateRoot == "" {
+		o.StateRoot = "state"
+	}
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 10 * time.Second
+	}
+	if o.PollTimeout <= 0 {
+		o.PollTimeout = 5 * time.Second
+	}
+	if o.MaxTaskAttempts <= 0 {
+		o.MaxTaskAttempts = 3
+	}
+	if o.NoAgentTimeout <= 0 {
+		o.NoAgentTimeout = 4 * o.LeaseTTL
+	}
+	if o.StepTimeout <= 0 {
+		o.StepTimeout = 5 * time.Minute
+	}
+	if o.ConfigFor == nil {
+		o.ConfigFor = func(bug string) (core.Config, error) {
+			b := bugs.ByName(bug)
+			if b == nil {
+				return core.Config{}, fmt.Errorf("unknown bug %q", bug)
+			}
+			return b.GistConfig(), nil
+		}
+	}
+	return o
+}
+
+// task is one dispatched production run in flight between the campaign
+// and the agent fleet. All fields are guarded by the server mutex
+// except doneCh, which is closed exactly once (under the mutex) when
+// the task completes or is written off.
+type task struct {
+	id     uint64
+	tenant string
+	bug    string
+	window []int
+	feats  core.Features
+	spec   core.RunSpec
+	fcfg   faults.Config
+	queued time.Time
+
+	attempt    int // lease grants so far
+	agent      string
+	leaseUntil time.Time // zero while queued
+
+	done    bool
+	lost    bool
+	crashed bool
+	trace   *core.RunTrace
+	doneCh  chan struct{}
+}
+
+// waiter is one parked long-poll.
+type waiter struct {
+	agent string
+	ch    chan *task // buffered 1; delivery happens under the mutex
+}
+
+// agentInfo is the server's view of one registered agent.
+type agentInfo struct {
+	lastSeen time.Time
+}
+
+// campaignState tracks one (tenant, bug) diagnosis end to end.
+type campaignState struct {
+	state         string
+	err           error
+	sketch        []byte // MarshalIndentJSON bytes, served verbatim
+	lowConfidence bool
+	restarts      int
+	done          chan struct{}
+}
+
+// tenantState is one tenant's agents, queue, and campaigns.
+type tenantState struct {
+	name      string
+	agents    map[string]*agentInfo
+	queue     []*task
+	waiters   []*waiter
+	campaigns map[string]*campaignState // by bug
+}
+
+// Server is the diagnosis service. Create with NewServer, expose
+// Handler over any listener (or a LoopbackTransport), and Close when
+// done.
+type Server struct {
+	opts Options
+
+	mu       sync.Mutex
+	tenants  map[string]*tenantState
+	tasks    map[uint64]*task
+	nextTask uint64
+
+	metrics metrics
+
+	closed    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	handler http.Handler
+}
+
+// NewServer returns a running server (reaper started, no listener).
+func NewServer(opts Options) *Server {
+	s := &Server{
+		opts:    opts.withDefaults(),
+		tenants: map[string]*tenantState{},
+		tasks:   map[uint64]*task{},
+		closed:  make(chan struct{}),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathHealthz, s.handleHealthz)
+	mux.HandleFunc(PathSubmit, jsonHandler(s, s.handleSubmit))
+	mux.HandleFunc(PathStatus, jsonHandler(s, s.handleStatus))
+	mux.HandleFunc(PathSketch, jsonHandler(s, s.handleSketch))
+	mux.HandleFunc(PathRegister, jsonHandler(s, s.handleRegister))
+	mux.HandleFunc(PathPoll, jsonHandler(s, s.handlePoll))
+	mux.HandleFunc(PathHeartbeat, jsonHandler(s, s.handleHeartbeat))
+	mux.HandleFunc(PathUpload, jsonHandler(s, s.handleUpload))
+	s.handler = s.measure(mux)
+	s.wg.Add(1)
+	go s.reap()
+	return s
+}
+
+// Handler returns the server's HTTP handler (checksum verification and
+// latency metrics included).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Close stops the reaper and writes off every in-flight task so
+// campaign goroutines blocked on the fleet unwind. Idempotent.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		s.mu.Lock()
+		for _, tk := range s.tasks {
+			if !tk.done {
+				s.markLost(tk)
+			}
+		}
+		s.mu.Unlock()
+	})
+	s.wg.Wait()
+}
+
+// WaitCampaign blocks until the (tenant, bug) campaign finishes;
+// it reports false when no such campaign exists.
+func (s *Server) WaitCampaign(tenant, bug string) bool {
+	s.mu.Lock()
+	t := s.tenants[tenant]
+	var cs *campaignState
+	if t != nil {
+		cs = t.campaigns[bug]
+	}
+	s.mu.Unlock()
+	if cs == nil {
+		return false
+	}
+	<-cs.done
+	return true
+}
+
+// ---- HTTP plumbing ----------------------------------------------------
+
+// httpError is an error with a status code.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// jsonHandler adapts a typed handler: verify the body checksum, decode
+// JSON, dispatch, encode the response. The checksum check runs before
+// any decoding so a transport-corrupted body can never half-apply.
+func jsonHandler[Req, Resp any](s *Server, f func(*Req) (*Resp, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "read body: %v", err)
+			return
+		}
+		if want := r.Header.Get(ChecksumHeader); want != "" {
+			if got := BodyChecksum(body); got != want {
+				s.metrics.add(func(m *Counters) { m.BadChecksum++ })
+				writeError(w, http.StatusBadRequest, "body checksum mismatch: have %s, header says %s", got, want)
+				return
+			}
+		}
+		var req Req
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeError(w, http.StatusBadRequest, "decode request: %v", err)
+			return
+		}
+		resp, err := f(&req)
+		if err != nil {
+			code := http.StatusInternalServerError
+			if he, ok := err.(*httpError); ok {
+				code = he.code
+			}
+			writeError(w, code, "%v", err)
+			return
+		}
+		data, err := json.Marshal(resp)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "encode response: %v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(data)
+	}
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	data, _ := json.Marshal(ErrorResponse{Err: fmt.Sprintf(format, args...)})
+	w.Write(data)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+// ---- handlers ---------------------------------------------------------
+
+func (s *Server) handleSubmit(req *SubmitRequest) (*SubmitResponse, error) {
+	if req.Tenant == "" || req.Bug == "" {
+		return nil, badRequest("submit: tenant and bug are required")
+	}
+	cfg, err := s.opts.ConfigFor(req.Bug)
+	if err != nil {
+		return nil, badRequest("submit: %v", err)
+	}
+	s.mu.Lock()
+	t := s.tenant(req.Tenant)
+	if _, ok := t.campaigns[req.Bug]; ok {
+		s.mu.Unlock()
+		return &SubmitResponse{Tenant: req.Tenant, Bug: req.Bug, Duplicate: true}, nil
+	}
+	cs := &campaignState{state: StateRunning, done: make(chan struct{})}
+	t.campaigns[req.Bug] = cs
+	s.mu.Unlock()
+
+	s.logf("submit: tenant=%s bug=%s", req.Tenant, req.Bug)
+	s.wg.Add(1)
+	go s.runCampaign(cs, req.Tenant, req.Bug, cfg)
+	return &SubmitResponse{Tenant: req.Tenant, Bug: req.Bug}, nil
+}
+
+func (s *Server) handleStatus(req *StatusRequest) (*StatusResponse, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.tenants[req.Tenant]
+	if t == nil {
+		return &StatusResponse{State: StateUnknown}, nil
+	}
+	cs := t.campaigns[req.Bug]
+	if cs == nil {
+		return &StatusResponse{State: StateUnknown}, nil
+	}
+	resp := &StatusResponse{
+		State:         cs.state,
+		LowConfidence: cs.lowConfidence,
+		Restarts:      cs.restarts,
+	}
+	if cs.err != nil {
+		resp.Err = cs.err.Error()
+	}
+	return resp, nil
+}
+
+func (s *Server) handleSketch(req *SketchRequest) (*SketchResponse, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.tenants[req.Tenant]
+	if t == nil {
+		return &SketchResponse{}, nil
+	}
+	cs := t.campaigns[req.Bug]
+	if cs == nil || cs.state != StateDone {
+		return &SketchResponse{}, nil
+	}
+	return &SketchResponse{Ready: true, Sketch: cs.sketch}, nil
+}
+
+func (s *Server) handleRegister(req *RegisterRequest) (*RegisterResponse, error) {
+	if req.Tenant == "" || req.Agent == "" {
+		return nil, badRequest("register: tenant and agent are required")
+	}
+	s.mu.Lock()
+	t := s.tenant(req.Tenant)
+	t.touch(req.Agent)
+	s.mu.Unlock()
+	s.logf("register: tenant=%s agent=%s", req.Tenant, req.Agent)
+	return &RegisterResponse{LeaseMs: s.opts.LeaseTTL.Milliseconds()}, nil
+}
+
+func (s *Server) handlePoll(req *PollRequest) (*PollResponse, error) {
+	if req.Tenant == "" || req.Agent == "" {
+		return nil, badRequest("poll: tenant and agent are required")
+	}
+	s.mu.Lock()
+	t := s.tenant(req.Tenant)
+	t.touch(req.Agent)
+	if tk := t.pop(); tk != nil {
+		s.lease(tk, req.Agent)
+		s.mu.Unlock()
+		return &PollResponse{Task: wireTask(tk)}, nil
+	}
+	w := &waiter{agent: req.Agent, ch: make(chan *task, 1)}
+	t.waiters = append(t.waiters, w)
+	s.mu.Unlock()
+
+	wait := time.Duration(req.WaitMs) * time.Millisecond
+	if wait <= 0 || wait > s.opts.PollTimeout {
+		wait = s.opts.PollTimeout
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case tk := <-w.ch:
+		return &PollResponse{Task: wireTask(tk)}, nil
+	case <-timer.C:
+	case <-s.closed:
+	}
+	s.mu.Lock()
+	t.unpark(w)
+	s.mu.Unlock()
+	// A delivery may have raced the timeout; it went through the
+	// buffered channel under the mutex, so one non-blocking receive
+	// settles it.
+	select {
+	case tk := <-w.ch:
+		return &PollResponse{Task: wireTask(tk)}, nil
+	default:
+		return &PollResponse{}, nil
+	}
+}
+
+func (s *Server) handleHeartbeat(req *HeartbeatRequest) (*HeartbeatResponse, error) {
+	if req.Tenant == "" || req.Agent == "" {
+		return nil, badRequest("heartbeat: tenant and agent are required")
+	}
+	s.mu.Lock()
+	t := s.tenant(req.Tenant)
+	t.touch(req.Agent)
+	now := time.Now()
+	for _, tk := range s.tasks {
+		if !tk.done && tk.tenant == req.Tenant && tk.agent == req.Agent && !tk.leaseUntil.IsZero() {
+			tk.leaseUntil = now.Add(s.opts.LeaseTTL)
+		}
+	}
+	s.mu.Unlock()
+	return &HeartbeatResponse{OK: true}, nil
+}
+
+func (s *Server) handleUpload(req *UploadRequest) (*UploadResponse, error) {
+	if req.Tenant == "" || req.TaskID == 0 {
+		return nil, badRequest("upload: tenant and task_id are required")
+	}
+	if req.Trace == nil && !req.Crashed {
+		return nil, badRequest("upload: task %d carries neither a trace nor a crash marker", req.TaskID)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.tenant(req.Tenant)
+	t.touch(req.Agent)
+	tk := s.tasks[req.TaskID]
+	if tk == nil || tk.tenant != req.Tenant {
+		// Unknown task: a retry that outlived its campaign (or a
+		// restarted server). Acknowledge as a duplicate so the agent
+		// moves on.
+		s.metrics.add(func(m *Counters) { m.DuplicateUploads++ })
+		return &UploadResponse{Duplicate: true}, nil
+	}
+	if tk.done {
+		// The idempotency key already admitted this task (a retried
+		// upload, a duplicated delivery, or a run the reaper wrote
+		// off). Exactly-once admission means this delivery is a no-op.
+		s.metrics.add(func(m *Counters) { m.DuplicateUploads++ })
+		return &UploadResponse{Accepted: true, Duplicate: true}, nil
+	}
+	tk.crashed = req.Crashed
+	if !req.Crashed {
+		tk.trace = DecodeTrace(req.Trace)
+	}
+	tk.done = true
+	close(tk.doneCh)
+	s.metrics.add(func(m *Counters) { m.Uploads++ })
+	s.opts.Telemetry.AddL(tk.tenant+"/"+tk.bug, "service.uploads", 1)
+	return &UploadResponse{Accepted: true}, nil
+}
+
+// ---- campaign lifecycle ----------------------------------------------
+
+// runCampaign drives one (tenant, bug) diagnosis: discover the failure,
+// build the campaign, route its fleet through the remote runner, and
+// supervise it to completion with per-tenant durable checkpoints.
+func (s *Server) runCampaign(cs *campaignState, tenant, bug string, cfg core.Config) {
+	defer s.wg.Done()
+	fail := func(err error) {
+		s.mu.Lock()
+		cs.state = StateFailed
+		cs.err = err
+		close(cs.done)
+		s.mu.Unlock()
+		s.logf("campaign failed: tenant=%s bug=%s: %v", tenant, bug, err)
+	}
+	cfg.Label = tenant + "/" + bug
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = s.opts.Telemetry
+	}
+
+	report, discRuns, err := core.FirstFailure(cfg)
+	if err != nil {
+		fail(fmt.Errorf("discovery: %w", err))
+		return
+	}
+	camp, err := core.NewCampaign(cfg, report, discRuns)
+	if err != nil {
+		fail(fmt.Errorf("campaign: %w", err))
+		return
+	}
+	runner := &remoteRunner{s: s, tenant: tenant, bug: bug, fcfg: cfg.Faults}
+	camp.UseRunner(runner)
+
+	ckpt, err := store.Open(
+		filepath.Join(s.opts.StateRoot, sanitizeLabel(tenant)), bug,
+		store.Options{
+			Backend:   s.opts.Backend,
+			NoFsync:   s.opts.NoFsync,
+			Telemetry: s.opts.Telemetry,
+			Label:     cfg.Label,
+		})
+	if err != nil {
+		fail(fmt.Errorf("checkpoint store: %w", err))
+		return
+	}
+
+	sup := supervise.New(1, supervise.Config{
+		StepTimeout: s.opts.StepTimeout,
+		Telemetry:   s.opts.Telemetry,
+		OnRestore:   func(c *core.Campaign) { c.UseRunner(runner) },
+	})
+	if _, err := sup.Add(cfg, camp, ckpt); err != nil {
+		fail(err)
+		return
+	}
+	outs := sup.Run()
+	out := outs[0]
+	if out.Result == nil || out.Result.Sketch == nil {
+		err := out.Err
+		if err == nil {
+			err = fmt.Errorf("campaign produced no sketch")
+		}
+		fail(err)
+		return
+	}
+	sketch, err := out.Result.Sketch.MarshalIndentJSON()
+	if err != nil {
+		fail(fmt.Errorf("marshal sketch: %w", err))
+		return
+	}
+	s.mu.Lock()
+	cs.state = StateDone
+	cs.sketch = sketch
+	cs.lowConfidence = out.Result.Sketch.LowConfidence
+	cs.restarts = out.Restarts
+	close(cs.done)
+	s.mu.Unlock()
+	s.logf("campaign done: tenant=%s bug=%s low_confidence=%v restarts=%d",
+		tenant, bug, out.Result.Sketch.LowConfidence, out.Restarts)
+}
+
+// ---- fleet plumbing ---------------------------------------------------
+
+// remoteRunner is the core.Runner that hands a campaign's batches to
+// the agent fleet over the wire.
+type remoteRunner struct {
+	s      *Server
+	tenant string
+	bug    string
+	fcfg   faults.Config
+}
+
+// RunBatch enqueues every job as a task and blocks until each is
+// uploaded, reassigned to exhaustion, or written off — then returns the
+// traces in job order, exactly like the in-process fleet.
+func (r *remoteRunner) RunBatch(plan *core.Plan, jobs []core.RunJob) []*core.RunTrace {
+	tasks := make([]*task, len(jobs))
+	r.s.mu.Lock()
+	t := r.s.tenant(r.tenant)
+	now := time.Now()
+	for i, job := range jobs {
+		r.s.nextTask++
+		tk := &task{
+			id:     r.s.nextTask,
+			tenant: r.tenant,
+			bug:    r.bug,
+			window: plan.Tracked,
+			feats:  plan.Feats,
+			spec:   job.Spec,
+			fcfg:   r.fcfg,
+			queued: now,
+			doneCh: make(chan struct{}),
+		}
+		r.s.tasks[tk.id] = tk
+		tasks[i] = tk
+		r.s.dispatch(t, tk)
+	}
+	r.s.mu.Unlock()
+
+	out := make([]*core.RunTrace, len(jobs))
+	for i, tk := range tasks {
+		<-tk.doneCh
+		r.s.mu.Lock()
+		if !tk.lost && !tk.crashed {
+			out[i] = tk.trace
+		}
+		// The batch has consumed the task; drop the trace bytes but
+		// keep the entry so late duplicate uploads still answer
+		// idempotently.
+		tk.trace = nil
+		r.s.mu.Unlock()
+	}
+	return out
+}
+
+// tenant returns (creating if needed) a tenant's state. Caller holds mu.
+func (s *Server) tenant(name string) *tenantState {
+	t := s.tenants[name]
+	if t == nil {
+		t = &tenantState{
+			name:      name,
+			agents:    map[string]*agentInfo{},
+			campaigns: map[string]*campaignState{},
+		}
+		s.tenants[name] = t
+	}
+	return t
+}
+
+// touch records agent liveness. Caller holds mu.
+func (t *tenantState) touch(agent string) {
+	if agent == "" {
+		return
+	}
+	a := t.agents[agent]
+	if a == nil {
+		a = &agentInfo{}
+		t.agents[agent] = a
+	}
+	a.lastSeen = time.Now()
+}
+
+// live reports whether any agent of the tenant has been seen within the
+// window. Caller holds mu.
+func (t *tenantState) live(window time.Duration) bool {
+	cutoff := time.Now().Add(-window)
+	for _, a := range t.agents {
+		if a.lastSeen.After(cutoff) {
+			return true
+		}
+	}
+	return false
+}
+
+// pop dequeues the next pending task, skipping written-off ones.
+// Caller holds mu.
+func (t *tenantState) pop() *task {
+	for len(t.queue) > 0 {
+		tk := t.queue[0]
+		t.queue = t.queue[1:]
+		if tk.done {
+			continue
+		}
+		return tk
+	}
+	return nil
+}
+
+// unpark removes a waiter from the parked list. Caller holds mu.
+func (t *tenantState) unpark(w *waiter) {
+	for i, o := range t.waiters {
+		if o == w {
+			t.waiters = append(t.waiters[:i], t.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// dispatch hands a task to a parked waiter or queues it. Caller holds
+// mu.
+func (s *Server) dispatch(t *tenantState, tk *task) {
+	if len(t.waiters) > 0 {
+		w := t.waiters[0]
+		t.waiters = t.waiters[1:]
+		s.lease(tk, w.agent)
+		w.ch <- tk
+		return
+	}
+	t.queue = append(t.queue, tk)
+}
+
+// lease grants a task to an agent. Caller holds mu.
+func (s *Server) lease(tk *task, agent string) {
+	tk.attempt++
+	tk.agent = agent
+	tk.leaseUntil = time.Now().Add(s.opts.LeaseTTL)
+}
+
+// markLost writes a task off: the campaign sees a nil trace, which its
+// Lost/retry/quorum machinery absorbs. Caller holds mu.
+func (s *Server) markLost(tk *task) {
+	tk.lost = true
+	tk.done = true
+	close(tk.doneCh)
+	s.metrics.add(func(m *Counters) { m.LostTasks++ })
+	s.opts.Telemetry.AddL(tk.tenant+"/"+tk.bug, "service.lost_tasks", 1)
+}
+
+// reap is the lease reaper: expired leases send tasks back to the queue
+// for reassignment (or write them off past the attempt budget), and
+// queued tasks with no live fleet are written off after NoAgentTimeout.
+func (s *Server) reap() {
+	defer s.wg.Done()
+	tick := s.opts.LeaseTTL / 4
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case <-ticker.C:
+		}
+		now := time.Now()
+		s.mu.Lock()
+		for _, tk := range s.tasks {
+			if tk.done {
+				continue
+			}
+			t := s.tenant(tk.tenant)
+			if !tk.leaseUntil.IsZero() && now.After(tk.leaseUntil) {
+				// The agent holding the lease went quiet.
+				if tk.attempt >= s.opts.MaxTaskAttempts {
+					s.logf("task %d (%s/%s) lost after %d attempts", tk.id, tk.tenant, tk.bug, tk.attempt)
+					s.markLost(tk)
+					continue
+				}
+				tk.agent = ""
+				tk.leaseUntil = time.Time{}
+				s.metrics.add(func(m *Counters) { m.Reassigned++ })
+				s.opts.Telemetry.AddL(tk.tenant+"/"+tk.bug, "service.reassigned", 1)
+				s.logf("task %d (%s/%s) lease expired; requeued (attempt %d)", tk.id, tk.tenant, tk.bug, tk.attempt)
+				s.dispatch(t, tk)
+				continue
+			}
+			if tk.leaseUntil.IsZero() && !t.live(2*s.opts.LeaseTTL) &&
+				now.Sub(tk.queued) > s.opts.NoAgentTimeout {
+				s.logf("task %d (%s/%s) lost: no live agents", tk.id, tk.tenant, tk.bug)
+				s.markLost(tk)
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// wireTask renders a task for the wire. Caller holds mu (or the task is
+// freshly leased and unshared).
+func wireTask(tk *task) *WireTask {
+	return &WireTask{
+		TaskID:  tk.id,
+		Tenant:  tk.tenant,
+		Bug:     tk.bug,
+		Window:  tk.window,
+		Feats:   tk.feats,
+		Spec:    tk.spec,
+		Faults:  tk.fcfg,
+		Attempt: tk.attempt,
+	}
+}
+
+// sanitizeLabel maps a tenant label to a safe path segment.
+func sanitizeLabel(label string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		}
+		return '_'
+	}, label)
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// ---- metrics ----------------------------------------------------------
+
+// Counters are the server's scalar health counters.
+type Counters struct {
+	Requests         int64
+	BadChecksum      int64
+	Uploads          int64
+	DuplicateUploads int64
+	Reassigned       int64
+	LostTasks        int64
+}
+
+// RPCStat is the latency distribution of one wire path.
+type RPCStat struct {
+	Path  string  `json:"path"`
+	Count int64   `json:"count"`
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+}
+
+// metrics aggregates request latencies per path, capped so an
+// arbitrarily long bench cannot grow without bound.
+type metrics struct {
+	mu       sync.Mutex
+	counters Counters
+	samples  map[string][]float64 // path -> latency ms
+}
+
+const maxLatencySamples = 1 << 20
+
+func (m *metrics) add(f func(*Counters)) {
+	m.mu.Lock()
+	f(&m.counters)
+	m.mu.Unlock()
+}
+
+func (m *metrics) observe(path string, d time.Duration) {
+	m.mu.Lock()
+	m.counters.Requests++
+	if m.samples == nil {
+		m.samples = map[string][]float64{}
+	}
+	if sl := m.samples[path]; len(sl) < maxLatencySamples {
+		m.samples[path] = append(sl, float64(d.Microseconds())/1000)
+	}
+	m.mu.Unlock()
+}
+
+// measure wraps the mux with per-request latency recording.
+func (s *Server) measure(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		s.metrics.observe(r.URL.Path, time.Since(start))
+	})
+}
+
+// Snapshot returns the server's counters and per-path latency
+// percentiles.
+func (s *Server) Snapshot() (Counters, []RPCStat) {
+	s.metrics.mu.Lock()
+	defer s.metrics.mu.Unlock()
+	counters := s.metrics.counters
+	paths := make([]string, 0, len(s.metrics.samples))
+	for p := range s.metrics.samples {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	stats := make([]RPCStat, 0, len(paths))
+	for _, p := range paths {
+		sl := append([]float64(nil), s.metrics.samples[p]...)
+		sort.Float64s(sl)
+		stats = append(stats, RPCStat{
+			Path:  p,
+			Count: int64(len(sl)),
+			P50Ms: percentile(sl, 0.50),
+			P95Ms: percentile(sl, 0.95),
+			P99Ms: percentile(sl, 0.99),
+		})
+	}
+	return counters, stats
+}
+
+// percentile reads the p-quantile from a sorted slice.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}

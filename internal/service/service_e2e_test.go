@@ -1,0 +1,291 @@
+package service_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bugs"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/service"
+	"repro/internal/service/agent"
+)
+
+// inProcessSketch computes the reference sketch bytes exactly as
+// `gist -bug X -json` renders them.
+var (
+	sketchMu    sync.Mutex
+	sketchCache = map[string][]byte{}
+)
+
+func inProcessSketch(t *testing.T, bug string) []byte {
+	t.Helper()
+	sketchMu.Lock()
+	defer sketchMu.Unlock()
+	if data, ok := sketchCache[bug]; ok {
+		return data
+	}
+	b := bugs.ByName(bug)
+	if b == nil {
+		t.Fatalf("unknown bug %q", bug)
+	}
+	res, err := core.Run(b.GistConfig())
+	if err != nil {
+		t.Fatalf("in-process run of %s: %v", bug, err)
+	}
+	data, err := res.Sketch.MarshalIndentJSON()
+	if err != nil {
+		t.Fatalf("marshal in-process sketch: %v", err)
+	}
+	sketchCache[bug] = data
+	return data
+}
+
+// serviceSketch runs one diagnosis through the full wire: loopback
+// server, a small agent fleet, transport faults at the given rate.
+func serviceSketch(t *testing.T, bug string, rate float64, nAgents int) ([]byte, service.Counters) {
+	t.Helper()
+	srv := service.NewServer(service.Options{
+		LeaseTTL:        2 * time.Second,
+		PollTimeout:     200 * time.Millisecond,
+		MaxTaskAttempts: 10,
+	})
+	defer srv.Close()
+	transport := service.LoopbackTransport{Handler: srv.Handler()}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < nAgents; i++ {
+		a, err := agent.New(agent.Config{
+			Server:    "http://gist",
+			Tenant:    "acme",
+			ID:        fmt.Sprintf("ep-%d", i),
+			Poll:      150 * time.Millisecond,
+			Faults:    faults.Transport(int64(1000+i), rate),
+			Transport: transport,
+			Sleep:     func(time.Duration) {},
+		})
+		if err != nil {
+			t.Fatalf("agent: %v", err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := a.Run(ctx); err != nil {
+				t.Errorf("agent run: %v", err)
+			}
+		}()
+	}
+	defer wg.Wait()
+	defer cancel()
+
+	cli := service.NewClient(service.ClientOptions{
+		BaseURL:   "http://gist",
+		Tenant:    "acme",
+		Actor:     "cli",
+		Faults:    faults.Transport(77, rate),
+		Transport: transport,
+		Sleep:     func(time.Duration) {},
+	})
+	var sub service.SubmitResponse
+	if err := cli.Call(ctx, service.PathSubmit, &service.SubmitRequest{Tenant: "acme", Bug: bug}, &sub); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if !srv.WaitCampaign("acme", bug) {
+		t.Fatal("campaign vanished after submit")
+	}
+
+	var st service.StatusResponse
+	if err := cli.Call(ctx, service.PathStatus, &service.StatusRequest{Tenant: "acme", Bug: bug}, &st); err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if st.State != service.StateDone {
+		t.Fatalf("campaign state = %q (err=%q), want done", st.State, st.Err)
+	}
+	var sk service.SketchResponse
+	if err := cli.Call(ctx, service.PathSketch, &service.SketchRequest{Tenant: "acme", Bug: bug}, &sk); err != nil {
+		t.Fatalf("sketch: %v", err)
+	}
+	if !sk.Ready || len(sk.Sketch) == 0 {
+		t.Fatal("campaign done but sketch not ready")
+	}
+	counters, _ := srv.Snapshot()
+	return sk.Sketch, counters
+}
+
+// TestServiceSketchesByteIdentical is the tentpole proof: a diagnosis
+// routed through the wire — JSON codec, checksums, long-polls, retries,
+// and (at 10%) injected transport drops/delays/duplicates/corruptions/
+// disconnects — produces byte-for-byte the sketch of an in-process run.
+func TestServiceSketchesByteIdentical(t *testing.T) {
+	suite := []string{"pbzip2", "curl", "apache-1"}
+	if testing.Short() {
+		suite = suite[:1]
+	}
+	for _, bug := range suite {
+		bug := bug
+		t.Run(bug, func(t *testing.T) {
+			want := inProcessSketch(t, bug)
+			for _, rate := range []float64{0, 0.10} {
+				got, counters := serviceSketch(t, bug, rate, 3)
+				if !bytes.Equal(got, want) {
+					t.Errorf("rate %.2f: service sketch differs from in-process run\nservice:\n%s\nin-process:\n%s",
+						rate, got, want)
+				}
+				if counters.LostTasks != 0 {
+					t.Errorf("rate %.2f: %d tasks lost; transport faults must never lose work", rate, counters.LostTasks)
+				}
+			}
+		})
+	}
+}
+
+// TestAgentDeathReassignsRuns kills an agent mid-campaign (it takes a
+// task and vanishes without a heartbeat) and checks the lease reaper
+// hands its run to a healthy agent — same sketch bytes, nothing lost.
+func TestAgentDeathReassignsRuns(t *testing.T) {
+	const bug = "pbzip2"
+	want := inProcessSketch(t, bug)
+
+	srv := service.NewServer(service.Options{
+		LeaseTTL:        300 * time.Millisecond,
+		PollTimeout:     100 * time.Millisecond,
+		MaxTaskAttempts: 10,
+	})
+	defer srv.Close()
+	transport := service.LoopbackTransport{Handler: srv.Handler()}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	cli := service.NewClient(service.ClientOptions{
+		BaseURL: "http://gist", Tenant: "acme", Actor: "cli",
+		Transport: transport, Sleep: func(time.Duration) {},
+	})
+	var sub service.SubmitResponse
+	if err := cli.Call(ctx, service.PathSubmit, &service.SubmitRequest{Tenant: "acme", Bug: bug}, &sub); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+
+	// The doomed agent registers, grabs one task, and dies without
+	// uploading or heartbeating.
+	doomed := service.NewClient(service.ClientOptions{
+		BaseURL: "http://gist", Tenant: "acme", Actor: "doomed",
+		Transport: transport, Sleep: func(time.Duration) {},
+	})
+	if err := doomed.Call(ctx, service.PathRegister, &service.RegisterRequest{Tenant: "acme", Agent: "doomed"}, nil); err != nil {
+		t.Fatalf("doomed register: %v", err)
+	}
+	grabbed := false
+	for deadline := time.Now().Add(30 * time.Second); time.Now().Before(deadline); {
+		var poll service.PollResponse
+		if err := doomed.Call(ctx, service.PathPoll, &service.PollRequest{Tenant: "acme", Agent: "doomed", WaitMs: 100}, &poll); err != nil {
+			t.Fatalf("doomed poll: %v", err)
+		}
+		if poll.Task != nil {
+			grabbed = true
+			break
+		}
+	}
+	if !grabbed {
+		t.Fatal("doomed agent never received a task")
+	}
+
+	// Now the healthy agent joins and finishes the campaign, including
+	// the run the dead agent took with it.
+	a, err := agent.New(agent.Config{
+		Server: "http://gist", Tenant: "acme", ID: "healthy",
+		Poll: 100 * time.Millisecond, Transport: transport, Sleep: func(time.Duration) {},
+	})
+	if err != nil {
+		t.Fatalf("agent: %v", err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := a.Run(ctx); err != nil {
+			t.Errorf("healthy agent: %v", err)
+		}
+	}()
+	defer wg.Wait()
+	defer cancel()
+
+	if !srv.WaitCampaign("acme", bug) {
+		t.Fatal("campaign vanished")
+	}
+	var sk service.SketchResponse
+	if err := cli.Call(ctx, service.PathSketch, &service.SketchRequest{Tenant: "acme", Bug: bug}, &sk); err != nil {
+		t.Fatalf("sketch: %v", err)
+	}
+	if !sk.Ready {
+		var st service.StatusResponse
+		_ = cli.Call(ctx, service.PathStatus, &service.StatusRequest{Tenant: "acme", Bug: bug}, &st)
+		t.Fatalf("campaign finished without a sketch: state=%q err=%q", st.State, st.Err)
+	}
+	if !bytes.Equal(sk.Sketch, want) {
+		t.Errorf("sketch after agent death differs from in-process run")
+	}
+	counters, _ := srv.Snapshot()
+	if counters.Reassigned == 0 {
+		t.Error("no task was ever reassigned; the doomed agent's lease never expired?")
+	}
+	if counters.LostTasks != 0 {
+		t.Errorf("%d tasks lost; reassignment should have saved them all", counters.LostTasks)
+	}
+}
+
+// TestFleetVanishesDegradesGracefully submits a campaign with no agents
+// at all: every dispatched run times out under NoAgentTimeout and the
+// campaign must degrade (low-confidence sketch or clean failure), never
+// hang.
+func TestFleetVanishesDegradesGracefully(t *testing.T) {
+	srv := service.NewServer(service.Options{
+		LeaseTTL:        100 * time.Millisecond,
+		PollTimeout:     50 * time.Millisecond,
+		NoAgentTimeout:  300 * time.Millisecond,
+		MaxTaskAttempts: 2,
+	})
+	defer srv.Close()
+	transport := service.LoopbackTransport{Handler: srv.Handler()}
+	cli := service.NewClient(service.ClientOptions{
+		BaseURL: "http://gist", Tenant: "ghost", Actor: "cli",
+		Transport: transport, Sleep: func(time.Duration) {},
+	})
+	ctx := context.Background()
+	if err := cli.Call(ctx, service.PathSubmit, &service.SubmitRequest{Tenant: "ghost", Bug: "pbzip2"}, nil); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	done := make(chan struct{})
+	go func() {
+		srv.WaitCampaign("ghost", "pbzip2")
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(3 * time.Minute):
+		t.Fatal("campaign with no agents hung instead of degrading")
+	}
+	var st service.StatusResponse
+	if err := cli.Call(ctx, service.PathStatus, &service.StatusRequest{Tenant: "ghost", Bug: "pbzip2"}, &st); err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	switch st.State {
+	case service.StateDone:
+		if !st.LowConfidence {
+			t.Error("campaign finished full-confidence with zero agents — quorum accounting is broken")
+		}
+	case service.StateFailed:
+		// A clean failure is acceptable degradation; a hang is not.
+	default:
+		t.Fatalf("campaign state = %q after fleet vanished", st.State)
+	}
+	counters, _ := srv.Snapshot()
+	if counters.LostTasks == 0 {
+		t.Error("no tasks were written off despite an empty fleet")
+	}
+}

@@ -1,0 +1,310 @@
+// Package service is the Gist diagnosis service: an HTTP/JSON wire
+// protocol between the central server and remote endpoint agents,
+// promoting the paper's deployment topology (§3.3: one server driving
+// 1,136 cooperating endpoints) from in-process function calls to a real
+// transport.
+//
+// The server accepts failure reports, schedules one diagnosis campaign
+// per (tenant, bug) on the existing sched + supervise stack, streams
+// tracking plans to agents, collects run traces, and serves finished
+// sketches. Agents register, long-poll for work, execute production
+// runs through the same core.RunInstrumented path the in-process fleet
+// uses, and upload traces.
+//
+// Correctness across an unreliable wire rests on four properties:
+//
+//   - Determinism. A production run is a pure function of (plan, spec,
+//     fault decision), and the campaign admits results strictly in
+//     dispatch order — so where a run executes (in-process worker,
+//     remote agent, a different remote agent after a reassignment)
+//     cannot change a byte of the diagnosis.
+//   - Idempotency. Every task has a server-assigned ID that doubles as
+//     the upload's idempotency key: retried or duplicated uploads admit
+//     exactly once.
+//   - Leases. An agent holds a task under a lease; a lease that expires
+//     (agent death, network partition) sends the task back to the queue
+//     for reassignment. Tasks that exhaust their attempt budget — or
+//     that sit unassigned while no live agent exists — are reported
+//     lost, which feeds the campaign's existing retry/quorum machinery
+//     and degrades the sketch to low-confidence instead of hanging.
+//   - Checksums. Every request body carries a CRC-32C; a corrupted body
+//     is rejected before decoding and the client retries.
+//
+// The wire never ships a fault decision or a tracking plan: both are
+// pure functions of data the agent already has (the bug's compiled
+// program, the shipped window and feature gates, the shipped endpoint
+// fault Config), so the agent re-derives them locally. That keeps every
+// unexported-field type off the wire and makes a corrupted plan
+// impossible by construction.
+package service
+
+import (
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/faults"
+	"repro/internal/hw/pt"
+	"repro/internal/hw/watch"
+	"repro/internal/vm"
+)
+
+// Wire paths. All task-flow endpoints are POST + JSON; the sketch and
+// status reads are POSTs too so every call shares one checksummed
+// codec.
+const (
+	PathSubmit    = "/v1/reports"
+	PathStatus    = "/v1/status"
+	PathSketch    = "/v1/sketch"
+	PathRegister  = "/v1/agents/register"
+	PathPoll      = "/v1/agents/poll"
+	PathHeartbeat = "/v1/agents/heartbeat"
+	PathUpload    = "/v1/traces"
+	PathHealthz   = "/v1/healthz"
+)
+
+// ChecksumHeader carries the CRC-32C (Castagnoli) of the request body,
+// in decimal. The server rejects a body whose checksum disagrees with
+// HTTP 400 before decoding a byte of JSON.
+const ChecksumHeader = "X-Gist-Crc32c"
+
+var wireCastagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// BodyChecksum returns the wire checksum of a request body.
+func BodyChecksum(body []byte) string {
+	return strconv.FormatUint(uint64(crc32.Checksum(body, wireCastagnoli)), 10)
+}
+
+// SubmitRequest asks the server to diagnose one bug for one tenant.
+// Submission is idempotent on (Tenant, Bug): resubmitting an in-flight
+// or finished diagnosis acknowledges the existing campaign.
+type SubmitRequest struct {
+	Tenant string `json:"tenant"`
+	Bug    string `json:"bug"`
+}
+
+// SubmitResponse acknowledges a submission.
+type SubmitResponse struct {
+	Tenant    string `json:"tenant"`
+	Bug       string `json:"bug"`
+	Duplicate bool   `json:"duplicate,omitempty"`
+}
+
+// StatusRequest asks for one campaign's state.
+type StatusRequest struct {
+	Tenant string `json:"tenant"`
+	Bug    string `json:"bug"`
+}
+
+// Campaign states reported by StatusResponse.
+const (
+	StateUnknown = "unknown" // no such campaign
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// StatusResponse reports a campaign's state.
+type StatusResponse struct {
+	State         string `json:"state"`
+	Err           string `json:"err,omitempty"`
+	LowConfidence bool   `json:"low_confidence,omitempty"`
+	Restarts      int    `json:"restarts,omitempty"`
+}
+
+// SketchRequest asks for a finished sketch.
+type SketchRequest struct {
+	Tenant string `json:"tenant"`
+	Bug    string `json:"bug"`
+}
+
+// SketchResponse carries the finished sketch. Sketch holds the exact
+// bytes of the sketch's indented-JSON rendering — the server marshals
+// once and ships verbatim, so a loopback client and an in-process run
+// can be diffed byte for byte.
+type SketchResponse struct {
+	Ready  bool   `json:"ready"`
+	Sketch []byte `json:"sketch,omitempty"`
+}
+
+// RegisterRequest announces an agent to the server.
+type RegisterRequest struct {
+	Tenant string `json:"tenant"`
+	Agent  string `json:"agent"`
+}
+
+// RegisterResponse acknowledges registration and tells the agent its
+// lease terms.
+type RegisterResponse struct {
+	LeaseMs int64 `json:"lease_ms"`
+}
+
+// PollRequest long-polls for one task. The server holds the request
+// open up to WaitMs (capped by the server's poll timeout) when no work
+// is queued. Polling also renews the agent's liveness.
+type PollRequest struct {
+	Tenant string `json:"tenant"`
+	Agent  string `json:"agent"`
+	WaitMs int64  `json:"wait_ms"`
+}
+
+// PollResponse carries at most one task; Task is nil when the poll
+// timed out empty.
+type PollResponse struct {
+	Task *WireTask `json:"task,omitempty"`
+}
+
+// HeartbeatRequest renews the leases of an agent mid-run, so a long
+// production run is not mistaken for a dead agent.
+type HeartbeatRequest struct {
+	Tenant string `json:"tenant"`
+	Agent  string `json:"agent"`
+}
+
+// HeartbeatResponse acknowledges a heartbeat.
+type HeartbeatResponse struct {
+	OK bool `json:"ok"`
+}
+
+// WireTask is one production run assigned to an agent. The agent
+// rebuilds the tracking plan locally with core.BuildPlan over its own
+// compiled copy of Bug's program — BuildPlan is deterministic, so the
+// shipped instruction window and feature gates pin the plan exactly —
+// and re-derives the endpoint fault decision from Faults, which is a
+// pure function of (Faults.Seed, Spec.EndpointID, Spec.Seed).
+type WireTask struct {
+	TaskID  uint64        `json:"task_id"`
+	Tenant  string        `json:"tenant"`
+	Bug     string        `json:"bug"`
+	Window  []int         `json:"window"`
+	Feats   core.Features `json:"feats"`
+	Spec    core.RunSpec  `json:"spec"`
+	Faults  faults.Config `json:"faults"`
+	Attempt int           `json:"attempt"`
+}
+
+// UploadRequest delivers one finished run. TaskID is the idempotency
+// key: the server admits each task's trace exactly once, no matter how
+// many times a retry or a duplicating network delivers it. Crashed
+// marks a run whose endpoint fault decision killed it — the agent is
+// alive, the simulated endpoint died, and the server must admit a nil
+// trace (distinct from an agent that vanished, which the lease reaper
+// handles).
+type UploadRequest struct {
+	Tenant  string     `json:"tenant"`
+	Agent   string     `json:"agent"`
+	TaskID  uint64     `json:"task_id"`
+	Crashed bool       `json:"crashed,omitempty"`
+	Trace   *WireTrace `json:"trace,omitempty"`
+}
+
+// UploadResponse acknowledges an upload. Duplicate marks a delivery
+// the idempotency key already admitted (or a task the server had
+// already written off); the agent treats both as success.
+type UploadResponse struct {
+	Accepted  bool `json:"accepted"`
+	Duplicate bool `json:"duplicate,omitempty"`
+}
+
+// ErrorResponse is the JSON body of every non-200 reply.
+type ErrorResponse struct {
+	Err string `json:"err"`
+}
+
+// WireTrace is core.RunTrace flattened for JSON: the executed-set map
+// becomes a sorted slice, the cost meter its two raw counters, and the
+// decode error a string. Everything else round-trips as-is — every
+// field the admission path reads is exported and JSON-safe.
+type WireTrace struct {
+	Spec           core.RunSpec           `json:"spec"`
+	Outcome        *vm.Outcome            `json:"outcome,omitempty"`
+	Flow           map[int][]int          `json:"flow"`
+	Branches       map[int][]pt.BranchObs `json:"branches,omitempty"`
+	Executed       []int                  `json:"executed"`
+	Traps          []watch.Trap           `json:"traps,omitempty"`
+	WatchMisses    int                    `json:"watch_misses,omitempty"`
+	BaseMC         int64                  `json:"base_mc"`
+	ExtraMC        int64                  `json:"extra_mc"`
+	DecodeErr      string                 `json:"decode_err,omitempty"`
+	SalvagedCores  int                    `json:"salvaged_cores,omitempty"`
+	Late           bool                   `json:"late,omitempty"`
+	DroppedTraps   int                    `json:"dropped_traps,omitempty"`
+	ReorderedTraps int                    `json:"reordered_traps,omitempty"`
+	Truncated      faults.TruncateKind    `json:"truncated,omitempty"`
+}
+
+// EncodeTrace flattens a run trace for the wire. Nil stays nil (a
+// crashed endpoint).
+func EncodeTrace(rt *core.RunTrace) *WireTrace {
+	if rt == nil {
+		return nil
+	}
+	executed := make([]int, 0, len(rt.Executed))
+	for id, on := range rt.Executed {
+		if on {
+			executed = append(executed, id)
+		}
+	}
+	sort.Ints(executed)
+	base, extra := rt.Meter.MC()
+	w := &WireTrace{
+		Spec:           rt.Spec,
+		Outcome:        rt.Outcome,
+		Flow:           rt.Flow,
+		Branches:       rt.Branches,
+		Executed:       executed,
+		Traps:          rt.Traps,
+		WatchMisses:    rt.WatchMisses,
+		BaseMC:         base,
+		ExtraMC:        extra,
+		SalvagedCores:  rt.SalvagedCores,
+		Late:           rt.Late,
+		DroppedTraps:   rt.DroppedTraps,
+		ReorderedTraps: rt.ReorderedTraps,
+		Truncated:      rt.Truncated,
+	}
+	if rt.DecodeErr != nil {
+		w.DecodeErr = rt.DecodeErr.Error()
+	}
+	return w
+}
+
+// DecodeTrace rebuilds a run trace from the wire. The admission path
+// only ever iterates or looks up the maps, so nil-vs-empty after a
+// JSON round trip is behaviorally invisible; Executed and the meter
+// are rebuilt exactly.
+func DecodeTrace(w *WireTrace) *core.RunTrace {
+	if w == nil {
+		return nil
+	}
+	executed := make(map[int]bool, len(w.Executed))
+	for _, id := range w.Executed {
+		executed[id] = true
+	}
+	flow := w.Flow
+	if flow == nil {
+		flow = map[int][]int{}
+	}
+	rt := &core.RunTrace{
+		Spec:           w.Spec,
+		Outcome:        w.Outcome,
+		Flow:           flow,
+		Branches:       w.Branches,
+		Executed:       executed,
+		Traps:          w.Traps,
+		WatchMisses:    w.WatchMisses,
+		Meter:          cost.MeterFromMC(w.BaseMC, w.ExtraMC),
+		SalvagedCores:  w.SalvagedCores,
+		Late:           w.Late,
+		DroppedTraps:   w.DroppedTraps,
+		ReorderedTraps: w.ReorderedTraps,
+		Truncated:      w.Truncated,
+	}
+	if w.DecodeErr != "" {
+		rt.DecodeErr = fmt.Errorf("%s", w.DecodeErr)
+	}
+	return rt
+}

@@ -45,7 +45,6 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -144,6 +143,9 @@ type Options struct {
 	Telemetry *telemetry.Tracer
 	// Label attributes the telemetry counters to a campaign.
 	Label string
+	// Backend is the storage medium; nil means the local directory
+	// backend (DirBackend).
+	Backend Backend
 }
 
 // Generation is one validated checkpoint generation surviving the
@@ -165,6 +167,7 @@ type Quarantine struct {
 type Store struct {
 	dir, name string
 	opts      Options
+	b         Backend
 	// gens is the Open-time scan result, newest first. Save does not
 	// extend it: a running process restarts from its in-memory last-good
 	// snapshot, and a resuming process re-runs the scan.
@@ -187,20 +190,20 @@ func Open(dir, name string, opts Options) (*Store, error) {
 	if opts.Keep < 2 {
 		return nil, fmt.Errorf("store: keep %d generations; need at least 2 for fallback", opts.Keep)
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	b := opts.Backend
+	if b == nil {
+		b = DirBackend{}
+	}
+	if err := b.EnsureDir(dir); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	s := &Store{dir: dir, name: name, opts: opts}
+	s := &Store{dir: dir, name: name, opts: opts, b: b}
 
-	entries, err := os.ReadDir(dir)
+	names, err := b.ListFiles(dir)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	for _, e := range entries {
-		if e.IsDir() {
-			continue
-		}
-		base := e.Name()
+	for _, base := range names {
 		path := filepath.Join(dir, base)
 		if gen, ok := s.parseGen(base, ".ckpt.tmp"); ok {
 			// A leftover temp file is an interrupted (or
@@ -214,7 +217,7 @@ func Open(dir, name string, opts Options) (*Store, error) {
 			continue
 		}
 		s.bumpGen(gen)
-		data, err := os.ReadFile(path)
+		data, err := b.ReadFile(path)
 		if err != nil {
 			s.quarantine(path, fmt.Errorf("store: %w", err))
 			continue
@@ -228,11 +231,11 @@ func Open(dir, name string, opts Options) (*Store, error) {
 	}
 	// Generation numbers already moved into quarantine/ by earlier
 	// recoveries must stay burned too, or a fault decision could repeat.
-	if qents, err := os.ReadDir(s.QuarantineDir()); err == nil {
-		for _, e := range qents {
-			if gen, ok := s.parseGen(e.Name(), ".ckpt"); ok {
+	if qnames, err := b.ListFiles(s.QuarantineDir()); err == nil {
+		for _, qn := range qnames {
+			if gen, ok := s.parseGen(qn, ".ckpt"); ok {
 				s.bumpGen(gen)
-			} else if gen, ok := s.parseGen(e.Name(), ".ckpt.tmp"); ok {
+			} else if gen, ok := s.parseGen(qn, ".ckpt.tmp"); ok {
 				s.bumpGen(gen)
 			}
 		}
@@ -272,18 +275,15 @@ func (s *Store) bumpGen(gen uint64) {
 // deleted: a corrupt checkpoint is evidence, not garbage.
 func (s *Store) quarantine(path string, reason error) {
 	qdir := s.QuarantineDir()
-	_ = os.MkdirAll(qdir, 0o755)
+	_ = s.b.EnsureDir(qdir)
 	dst := filepath.Join(qdir, filepath.Base(path))
-	for n := 1; ; n++ {
-		if _, err := os.Lstat(dst); os.IsNotExist(err) {
-			break
-		}
+	for n := 1; s.b.Exists(dst); n++ {
 		dst = filepath.Join(qdir, fmt.Sprintf("%s.%d", filepath.Base(path), n))
 	}
-	if err := os.Rename(path, dst); err != nil {
+	if err := s.b.Rename(path, dst); err != nil {
 		// Can't move it; removing is the lesser evil vs. re-loading a
 		// known-bad checkpoint forever.
-		_ = os.Remove(path)
+		_ = s.b.Remove(path)
 		dst = ""
 	}
 	s.quarantined = append(s.quarantined, Quarantine{From: path, To: dst, Reason: reason})
@@ -357,42 +357,33 @@ func (s *Store) Save(payload []byte) (uint64, error) {
 	if dec.Kind == faults.DiskTorn {
 		data = frame[:dec.TornLen(len(frame))]
 	}
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
-	if err != nil {
-		return gen, fmt.Errorf("store: %w", err)
+	if dec.Kind == faults.DiskFsyncErr && !s.opts.NoFsync {
+		// The temp file's contents are unknowable after a failed
+		// fsync; write it unsynced and leave it for the recovery scan
+		// to quarantine.
+		_ = s.b.WriteFile(tmp, data, false)
+		s.opts.Telemetry.AddL(s.opts.Label, "store.fsync_errors", 1)
+		return gen, fmt.Errorf("store: %s: %w: injected %s fault", tmp, ErrFsync, dec.Kind)
 	}
-	if _, err := f.Write(data); err != nil {
-		f.Close()
-		return gen, fmt.Errorf("store: %w", err)
-	}
-	if !s.opts.NoFsync {
-		syncErr := f.Sync()
-		if dec.Kind == faults.DiskFsyncErr {
-			syncErr = fmt.Errorf("injected %s fault", dec.Kind)
-		}
-		if syncErr != nil {
-			f.Close()
+	if err := s.b.WriteFile(tmp, data, !s.opts.NoFsync); err != nil {
+		if errors.Is(err, ErrFsync) {
 			s.opts.Telemetry.AddL(s.opts.Label, "store.fsync_errors", 1)
-			// The temp file's contents are unknowable after a failed
-			// fsync; leave it for the recovery scan to quarantine.
-			return gen, fmt.Errorf("store: %s: %w: %v", tmp, ErrFsync, syncErr)
+			return gen, fmt.Errorf("store: %s: %w", tmp, err)
 		}
-	}
-	if err := f.Close(); err != nil {
 		return gen, fmt.Errorf("store: %w", err)
 	}
 	if dec.Kind != faults.DiskRenameDrop {
-		if err := os.Rename(tmp, final); err != nil {
+		if err := s.b.Rename(tmp, final); err != nil {
 			return gen, fmt.Errorf("store: %w", err)
 		}
 		if !s.opts.NoFsync {
-			if err := syncDir(s.dir); err != nil {
+			if err := s.b.SyncDir(s.dir); err != nil {
 				return gen, fmt.Errorf("store: sync %s: %w", s.dir, err)
 			}
 		}
 		if dec.Kind == faults.DiskFlip && len(data) > 0 {
 			pos, mask := dec.FlipByte(len(data))
-			flipByteAt(final, pos, mask)
+			s.flipByteAt(final, pos, mask)
 		}
 	}
 	s.opts.Telemetry.AddL(s.opts.Label, "store.saves", 1)
@@ -405,16 +396,13 @@ func (s *Store) Save(payload []byte) (uint64, error) {
 // the directory so generations from before this process are pruned too.
 // Quarantined files are never touched.
 func (s *Store) prune() {
-	entries, err := os.ReadDir(s.dir)
+	names, err := s.b.ListFiles(s.dir)
 	if err != nil {
 		return
 	}
 	var gens []uint64
-	for _, e := range entries {
-		if e.IsDir() {
-			continue
-		}
-		if gen, ok := s.parseGen(e.Name(), ".ckpt"); ok {
+	for _, base := range names {
+		if gen, ok := s.parseGen(base, ".ckpt"); ok {
 			gens = append(gens, gen)
 		}
 	}
@@ -423,35 +411,20 @@ func (s *Store) prune() {
 	}
 	sort.Slice(gens, func(i, j int) bool { return gens[i] > gens[j] })
 	for _, gen := range gens[s.opts.Keep:] {
-		if os.Remove(s.ExpectedPath(gen)) == nil {
+		if s.b.Remove(s.ExpectedPath(gen)) == nil {
 			s.opts.Telemetry.AddL(s.opts.Label, "store.pruned", 1)
 		}
 	}
 }
 
-// syncDir fsyncs a directory so a just-renamed entry is durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
-}
-
 // flipByteAt XORs one byte of the file at path — the post-write
 // bit-flip fault. Failures are ignored: the fault model does not
 // promise corruption succeeds, only that the store survives it.
-func flipByteAt(path string, pos int, mask byte) {
-	f, err := os.OpenFile(path, os.O_RDWR, 0)
-	if err != nil {
+func (s *Store) flipByteAt(path string, pos int, mask byte) {
+	data, err := s.b.ReadFile(path)
+	if err != nil || pos < 0 || pos >= len(data) {
 		return
 	}
-	defer f.Close()
-	var b [1]byte
-	if _, err := f.ReadAt(b[:], int64(pos)); err != nil {
-		return
-	}
-	b[0] ^= mask
-	_, _ = f.WriteAt(b[:], int64(pos))
+	data[pos] ^= mask
+	_ = s.b.WriteFile(path, data, false)
 }

@@ -65,6 +65,12 @@ type Config struct {
 	BackoffCap int
 	// Telemetry receives supervise.* counters; nil is fine.
 	Telemetry *telemetry.Tracer
+	// OnRestore, when non-nil, is called with every campaign restored
+	// from checkpoint before it re-enters the scheduler. The service
+	// uses it to reattach its remote runner — restoration rebuilds the
+	// campaign from serialized state, which cannot carry a live
+	// transport.
+	OnRestore func(c *core.Campaign)
 }
 
 func (c Config) withDefaults() Config {
@@ -257,6 +263,9 @@ func (s *Supervisor) step(slot int, c *core.Campaign) {
 	reason := fmt.Errorf("supervise: %s crashed/hung %d time(s) at iteration %d",
 		t.label, t.restarts, t.lastGood.Iter)
 	restored, err := core.RestoreCampaign(t.cfg, t.lastGood)
+	if err == nil && s.cfg.OnRestore != nil {
+		s.cfg.OnRestore(restored)
+	}
 	if err != nil {
 		// The checkpoint itself cannot be restored — nothing to heal
 		// from. Retire the slot with the restore error.
