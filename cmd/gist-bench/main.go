@@ -22,16 +22,16 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, sketches, fig9, fig10, fig11, fig12, fig13, breakdown, swpt, extpt, chaos, perf, sched, crashloop, service, all")
+		exp      = flag.String("exp", "all", "experiment: table1, sketches, fig9, fig10, fig11, fig12, fig13, breakdown, swpt, extpt, chaos, perf, sched, crashloop, service, vm, all")
 		bugList  = flag.String("bugs", "", "comma-separated bug subset (default: all 12)")
 		runs     = flag.Int("runs", 0, "runs per measurement point (0 = experiment default)")
 		workers  = flag.Int("workers", 0, "fan-out width for suite sweeps and the fleet inside each diagnosis (0 = GOMAXPROCS); results are byte-identical for any value")
-		jsonPath = flag.String("json", "", "with -exp perf, sched, crashloop, or service: write the results to this JSON file (e.g. BENCH_fleet.json)")
+		jsonPath = flag.String("json", "", "with -exp perf, sched, crashloop, service, or vm: write the results to this JSON file (e.g. BENCH_fleet.json)")
 		agents   = flag.Int("agents", 1000, "with -exp service: total simulated agent count across all tenants")
 
 		traceOut    = flag.String("trace-out", "", "write a JSONL phase-span event log to this file")
 		metricsJSON = flag.String("metrics-json", "", "write a metrics snapshot to this file on exit")
-		validate    = flag.String("validate", "", "validate an existing BENCH JSON file (perf, sched, or crashloop) against the observability schema, then exit")
+		validate    = flag.String("validate", "", "validate an existing BENCH JSON file (perf, sched, crashloop, service, or vm) against the observability schema, then exit")
 	)
 	flag.Parse()
 
@@ -255,6 +255,21 @@ func main() {
 		}
 		fmt.Print(experiments.RenderCrashloop(res))
 		writeBench("crashloop", res.WriteJSON)
+	}
+	if *exp == "vm" {
+		fmt.Printf("==== vm ====\n\n")
+		// Default to the three printed-sketch bugs; -bugs overrides.
+		cs := suite
+		if *bugList == "" {
+			cs = experiments.VMSuite()
+		}
+		res, err := experiments.VMPerf(cs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gist-bench: vm: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(experiments.RenderVM(res))
+		writeBench("vm", res.WriteJSON)
 	}
 	if *exp == "service" {
 		fmt.Printf("==== service ====\n\n")

@@ -46,6 +46,7 @@ func main() {
 		asJSON   = flag.Bool("json", false, "emit the sketch as JSON instead of text")
 
 		workers    = flag.Int("workers", 0, "fleet worker-pool width (0 = GOMAXPROCS); the diagnosis is byte-identical for any value")
+		engineName = flag.String("engine", "bytecode", "execution engine for production runs: bytecode or interp; the diagnosis is byte-identical on either")
 		maxIters   = flag.Int("max-iters", 0, "cap on AsT iterations this process runs (0 = library default); with -checkpoint-dir the boundary state is checkpointed so a later -resume continues")
 		ckptDir    = flag.String("checkpoint-dir", "", "durably checkpoint the campaign to this directory after every AsT iteration (checksummed, generation-numbered); the diagnosis is byte-identical with or without checkpointing")
 		resume     = flag.Bool("resume", false, "restore the campaign from the newest valid checkpoint generation in -checkpoint-dir instead of starting from discovery, continuing the diagnosis byte-for-byte")
@@ -87,6 +88,10 @@ func main() {
 	}
 	if *faultRate < 0 || *faultRate > 1 {
 		fatalf("-fault-rate %g outside [0,1]", *faultRate)
+	}
+	engine, err := core.ParseEngine(*engineName)
+	if err != nil {
+		fatalf("-engine: %v", err)
 	}
 	if *workers < 0 {
 		fatalf("-workers %d is negative (0 means GOMAXPROCS)", *workers)
@@ -200,6 +205,7 @@ func main() {
 	}
 	cfg.RunDeadlineSteps = *deadline
 	cfg.MaxIters = *maxIters
+	cfg.Engine = engine
 
 	// Telemetry observes the pipeline; the diagnosis is byte-identical
 	// with or without it.

@@ -32,6 +32,7 @@ import (
 	"repro/internal/cfg"
 	"repro/internal/ir"
 	"repro/internal/slicer"
+	"repro/internal/vm/bytecode"
 )
 
 type graphEntry struct {
@@ -49,18 +50,25 @@ type sliceEntry struct {
 	sl   *slicer.Slice // pristine master; callers get clones
 }
 
-var (
-	mu     sync.Mutex
-	graphs = make(map[*ir.Program]*graphEntry)
-	slices = make(map[sliceKey]*sliceEntry)
+type bytecodeEntry struct {
+	once sync.Once
+	bp   *bytecode.Program
+}
 
-	graphBuilds, graphHits atomic.Int64
-	sliceBuilds, sliceHits atomic.Int64
+var (
+	mu        sync.Mutex
+	graphs    = make(map[*ir.Program]*graphEntry)
+	slices    = make(map[sliceKey]*sliceEntry)
+	bytecodes = make(map[*ir.Program]*bytecodeEntry)
+
+	graphBuilds, graphHits       atomic.Int64
+	sliceBuilds, sliceHits       atomic.Int64
+	bytecodeBuilds, bytecodeHits atomic.Int64
 	// Cumulative wall time spent inside cache-miss builds, the number
 	// the telemetry layer reports as the offline static-analysis cost
 	// (§5.3's "analysis time"). Hits cost nothing by design; only
 	// misses accumulate here.
-	graphBuildNS, sliceBuildNS atomic.Int64
+	graphBuildNS, sliceBuildNS, bytecodeBuildNS atomic.Int64
 )
 
 // Graph returns the memoized TICFG for p, building it on first use.
@@ -114,6 +122,35 @@ func Slice(p *ir.Program, failingID int) *slicer.Slice {
 	return e.sl.Clone()
 }
 
+// Bytecode returns the memoized bytecode compilation of p, building it
+// on first use, and reports whether this call hit the cache. The
+// returned program is shared safely across goroutines: its instruction
+// stream is immutable after compilation and each Run draws a private
+// pooled machine. Every fleet worker, scheduler lane, and service agent
+// executing the same *ir.Program therefore pays compilation exactly
+// once per process.
+func Bytecode(p *ir.Program) (*bytecode.Program, bool) {
+	mu.Lock()
+	e := bytecodes[p]
+	if e == nil {
+		e = &bytecodeEntry{}
+		bytecodes[p] = e
+	}
+	mu.Unlock()
+	hit := true
+	e.once.Do(func() {
+		hit = false
+		bytecodeBuilds.Add(1)
+		t0 := time.Now()
+		e.bp = bytecode.Compile(p)
+		bytecodeBuildNS.Add(time.Since(t0).Nanoseconds())
+	})
+	if hit {
+		bytecodeHits.Add(1)
+	}
+	return e.bp, hit
+}
+
 // Stats is a point-in-time snapshot of cache effectiveness, reported by
 // the perf experiment and the telemetry metrics snapshot.
 //
@@ -122,22 +159,27 @@ func Slice(p *ir.Program, failingID int) *slicer.Slice {
 // includes that graph time (the slice cannot exist without it), so the
 // two are not disjoint.
 type Stats struct {
-	GraphBuilds, GraphHits int64
-	SliceBuilds, SliceHits int64
+	GraphBuilds, GraphHits       int64
+	SliceBuilds, SliceHits       int64
+	BytecodeBuilds, BytecodeHits int64
 
-	GraphBuildNS int64
-	SliceBuildNS int64
+	GraphBuildNS    int64
+	SliceBuildNS    int64
+	BytecodeBuildNS int64
 }
 
 // Snapshot returns the current cache counters.
 func Snapshot() Stats {
 	return Stats{
-		GraphBuilds:  graphBuilds.Load(),
-		GraphHits:    graphHits.Load(),
-		SliceBuilds:  sliceBuilds.Load(),
-		SliceHits:    sliceHits.Load(),
-		GraphBuildNS: graphBuildNS.Load(),
-		SliceBuildNS: sliceBuildNS.Load(),
+		GraphBuilds:     graphBuilds.Load(),
+		GraphHits:       graphHits.Load(),
+		SliceBuilds:     sliceBuilds.Load(),
+		SliceHits:       sliceHits.Load(),
+		BytecodeBuilds:  bytecodeBuilds.Load(),
+		BytecodeHits:    bytecodeHits.Load(),
+		GraphBuildNS:    graphBuildNS.Load(),
+		SliceBuildNS:    sliceBuildNS.Load(),
+		BytecodeBuildNS: bytecodeBuildNS.Load(),
 	}
 }
 
@@ -148,11 +190,15 @@ func Reset() {
 	mu.Lock()
 	graphs = make(map[*ir.Program]*graphEntry)
 	slices = make(map[sliceKey]*sliceEntry)
+	bytecodes = make(map[*ir.Program]*bytecodeEntry)
 	mu.Unlock()
 	graphBuilds.Store(0)
 	graphHits.Store(0)
 	sliceBuilds.Store(0)
 	sliceHits.Store(0)
+	bytecodeBuilds.Store(0)
+	bytecodeHits.Store(0)
 	graphBuildNS.Store(0)
 	sliceBuildNS.Store(0)
+	bytecodeBuildNS.Store(0)
 }

@@ -100,6 +100,31 @@ func TestSliceMatchesDirectCompute(t *testing.T) {
 	}
 }
 
+func TestBytecodeMemoized(t *testing.T) {
+	Reset()
+	p := compile(t)
+	bp1, hit1 := Bytecode(p)
+	bp2, hit2 := Bytecode(p)
+	if bp1 != bp2 {
+		t.Fatalf("Bytecode returned distinct programs for the same IR")
+	}
+	if hit1 || !hit2 {
+		t.Fatalf("want miss then hit, got hit1=%v hit2=%v", hit1, hit2)
+	}
+	if bp1.IR() != p {
+		t.Fatalf("Bytecode compiled the wrong program")
+	}
+	s := Snapshot()
+	if s.BytecodeBuilds != 1 || s.BytecodeHits != 1 {
+		t.Fatalf("want 1 build + 1 hit, got %+v", s)
+	}
+	// A different program gets its own compilation.
+	p2 := compile(t)
+	if bp, _ := Bytecode(p2); bp == bp1 {
+		t.Fatalf("distinct programs share a bytecode compilation")
+	}
+}
+
 func TestConcurrentSingleFlight(t *testing.T) {
 	Reset()
 	p := compile(t)
@@ -111,6 +136,7 @@ func TestConcurrentSingleFlight(t *testing.T) {
 			defer wg.Done()
 			Graph(p)
 			Slice(p, root)
+			Bytecode(p)
 		}()
 	}
 	wg.Wait()
@@ -120,6 +146,9 @@ func TestConcurrentSingleFlight(t *testing.T) {
 	}
 	if s.SliceBuilds != 1 {
 		t.Errorf("slice built %d times under concurrency", s.SliceBuilds)
+	}
+	if s.BytecodeBuilds != 1 {
+		t.Errorf("bytecode built %d times under concurrency", s.BytecodeBuilds)
 	}
 }
 

@@ -189,13 +189,13 @@ func RunInstrumentedFaults(plan *Plan, spec RunSpec, dec faults.Decision) *RunTr
 	}
 
 	execSpan := plan.Telemetry.StartSpan(telemetry.PhaseRunExec)
-	rt.Outcome = vm.Run(plan.Prog, vm.Config{
+	rt.Outcome = plan.Engine.exec(plan.Prog, vm.Config{
 		Seed:        spec.Seed,
 		MaxSteps:    spec.MaxSteps,
 		PreemptMean: spec.PreemptMean,
 		Workload:    spec.Workload,
 		Hooks:       hooks,
-	})
+	}, plan.Telemetry)
 	execSpan.End()
 
 	if plan.Feats.ControlFlow {
@@ -239,10 +239,14 @@ func RunInstrumentedFaults(plan *Plan, spec RunSpec, dec faults.Decision) *RunTr
 		sort.Slice(rt.Traps, func(i, j int) bool { return rt.Traps[i].Clock < rt.Traps[j].Clock })
 		decodeSpan.End()
 	}
+	// The decoded flow now lives in the RunTrace; the raw ring buffers
+	// can go back to the pool for the next run on this worker.
+	tracer.Release()
 	watchSpan := plan.Telemetry.StartSpan(telemetry.PhaseWatch)
 	if plan.Feats.DataFlow && !plan.Feats.ExtendedPT {
 		rt.Traps = unit.Traps()
 	}
+	unit.Release()
 	rt.applyTransitFaults(dec)
 	watchSpan.End()
 	return rt

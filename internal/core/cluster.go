@@ -34,6 +34,8 @@ type ClusterConfig struct {
 	WorkloadPool []vm.Workload
 	// MaxSeedsPerCluster bounds the recorded seed list (0 = 16).
 	MaxSeedsPerCluster int
+	// Engine as in Config: zero value is the bytecode VM.
+	Engine Engine
 }
 
 // ClusterFailures runs the fleet uninstrumented and groups every observed
@@ -58,9 +60,9 @@ func ClusterFailures(cfg ClusterConfig) []*FailureCluster {
 		if len(cfg.WorkloadPool) > 0 {
 			wl = cfg.WorkloadPool[i%len(cfg.WorkloadPool)]
 		}
-		out := vm.Run(cfg.Prog, vm.Config{
+		out := cfg.Engine.exec(cfg.Prog, vm.Config{
 			Seed: seed, PreemptMean: cfg.PreemptMean, MaxSteps: cfg.MaxSteps, Workload: wl,
-		})
+		}, nil)
 		if !out.Failed {
 			continue
 		}

@@ -23,6 +23,13 @@ type Config struct {
 	// stream is byte-compatible with historical output.
 	Label string
 
+	// Engine selects the execution engine for every production run of
+	// the diagnosis (discovery and instrumented fleet runs alike). The
+	// zero value is the bytecode VM; EngineInterp selects the
+	// tree-walking reference interpreter. The diagnosis is byte-identical
+	// either way.
+	Engine Engine
+
 	// Sigma0 is the initial tracked-slice size in statements (§3.2.1;
 	// the paper uses 2). Each AsT iteration doubles it.
 	Sigma0 int
@@ -281,12 +288,12 @@ func FirstFailure(cfg Config) (*vm.FailureReport, int, error) {
 		}
 		outs := parallelMap(n, cfg.Workers, func(j int) *vm.Outcome {
 			i := base + j
-			return vm.Run(cfg.Prog, vm.Config{
+			return cfg.Engine.exec(cfg.Prog, vm.Config{
 				Seed:        cfg.SeedBase + int64(i),
 				PreemptMean: cfg.PreemptMean,
 				MaxSteps:    maxSteps,
 				Workload:    cfg.workloadFor(i),
-			})
+			}, cfg.Telemetry)
 		})
 		for j, out := range outs {
 			i := base + j

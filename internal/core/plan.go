@@ -84,6 +84,11 @@ type Plan struct {
 	// executed under this plan. Purely observational; nil is fine and
 	// costs nothing.
 	Telemetry *telemetry.Tracer
+
+	// Engine is the execution engine every run under this plan uses.
+	// The zero value is the bytecode VM; the campaign copies its
+	// Config.Engine here so remote runners execute on the same engine.
+	Engine Engine
 }
 
 // IsTracked reports whether instruction id is part of the tracked window.

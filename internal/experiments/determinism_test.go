@@ -3,6 +3,7 @@ package experiments
 import (
 	"bytes"
 	"fmt"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -49,7 +50,7 @@ func TestTelemetryDeterminism(t *testing.T) {
 							workers, bare, traced)
 					}
 					snap := tel.Snapshot()
-					counters[i] = snap.Counters
+					counters[i] = stripEngineCounters(snap.Counters)
 					if rate > 0 && snap.Counters["faults.injected_runs"] == 0 {
 						t.Fatalf("workers=%d rate=%.2f: no faults.injected_runs counted", workers, rate)
 					}
@@ -68,16 +69,38 @@ func TestTelemetryDeterminism(t *testing.T) {
 	}
 }
 
+// stripEngineCounters drops the vm.* execution-engine counters before a
+// cross-width comparison: compile-cache hits depend on process-global
+// cache warmth and machine-pool hits on physical execution counts
+// (speculative chunks over-dispatch at wide fleets), so both are
+// explicitly observability-only and not width-stable. Everything the
+// admission path counts must still match exactly.
+func stripEngineCounters(counters map[string]int64) map[string]int64 {
+	out := make(map[string]int64, len(counters))
+	for name, v := range counters {
+		if strings.HasPrefix(name, "vm.") {
+			continue
+		}
+		out[name] = v
+	}
+	return out
+}
+
 func diagnosisFingerprint(t *testing.T, name string, rate float64, workers int) string {
-	return tracedFingerprint(t, name, rate, workers, nil)
+	return engineFingerprint(t, name, rate, workers, core.EngineBytecode, nil)
 }
 
 func tracedFingerprint(t *testing.T, name string, rate float64, workers int, tel *telemetry.Tracer) string {
+	return engineFingerprint(t, name, rate, workers, core.EngineBytecode, tel)
+}
+
+func engineFingerprint(t *testing.T, name string, rate float64, workers int, eng core.Engine, tel *telemetry.Tracer) string {
 	t.Helper()
 	b := Suite(name)[0]
 	cfg := b.GistConfig()
 	cfg.Features = core.AllFeatures()
 	cfg.Workers = workers
+	cfg.Engine = eng
 	cfg.Telemetry = tel
 	cfg.StopWhen = DeveloperOracle(b)
 	if rate > 0 {

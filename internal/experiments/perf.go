@@ -203,6 +203,8 @@ func passCounters(snap telemetry.Snapshot) map[string]int64 {
 	out["cache.graph_hits"] = cs.GraphHits
 	out["cache.slice_builds"] = cs.SliceBuilds
 	out["cache.slice_hits"] = cs.SliceHits
+	out["cache.bytecode_builds"] = cs.BytecodeBuilds
+	out["cache.bytecode_hits"] = cs.BytecodeHits
 	pm := pt.Snapshot()
 	out["pt.decode_calls"] = pm.DecodeCalls
 	out["pt.decode_errors"] = pm.DecodeErrors
@@ -256,8 +258,10 @@ func ValidateBenchJSON(data []byte) error {
 		return ValidateCrashloopJSON(data)
 	case "service":
 		return ValidateServiceJSON(data)
+	case "vm":
+		return ValidateVMJSON(data)
 	default:
-		return fmt.Errorf("bench json: unknown experiment %q (want perf, sched, crashloop, or service)", probe.Experiment)
+		return fmt.Errorf("bench json: unknown experiment %q (want perf, sched, crashloop, service, or vm)", probe.Experiment)
 	}
 }
 

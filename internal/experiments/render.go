@@ -198,3 +198,17 @@ func RenderSWPT(rows []SWPTRow) string {
 	}
 	return b.String()
 }
+
+// RenderVM renders the engine comparison.
+func RenderVM(r *VMResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "VM: single-thread engine comparison, interpreter vs. bytecode (GOMAXPROCS=%d; outcomes byte-identical)\n\n", r.GoMaxProcs)
+	fmt.Fprintf(&b, "%-13s %12s %12s %9s %13s %13s %8s\n",
+		"Bug", "interp ns", "bytecode ns", "speedup", "interp alloc", "bytec. alloc", "runs/s")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-13s %12d %12d %8.2fx %13d %13d %8.0f\n",
+			row.Bug, row.InterpNSOp, row.BytecodeNSOp, row.Speedup,
+			row.InterpAllocsOp, row.BytecodeAllocsOp, row.BytecodeRunsPerSec)
+	}
+	return b.String()
+}

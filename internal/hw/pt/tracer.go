@@ -2,6 +2,7 @@ package pt
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/cost"
 )
@@ -69,13 +70,36 @@ func NewTracer(cfg Config, meter *cost.Meter) *Tracer {
 	return &Tracer{cfg: cfg.withDefaults(), cores: make(map[int]*coreTrace), meter: meter}
 }
 
+// bufPool recycles per-core ring buffers across runs. A fleet executes
+// thousands of runs, each of which would otherwise grow a fresh trace
+// buffer (up to BufBytes) per thread; a released buffer keeps its
+// capacity and the next run's encoder appends into it allocation-free.
+var bufPool sync.Pool
+
 func (t *Tracer) core(id int) *coreTrace {
 	c, ok := t.cores[id]
 	if !ok {
 		c = &coreTrace{}
+		if b, ok := bufPool.Get().([]byte); ok {
+			c.buf = b[:0]
+		}
 		t.cores[id] = c
 	}
 	return c
+}
+
+// Release parks every core's trace buffer on the package pool and
+// detaches it from the tracer. Callers must be completely done with the
+// run's trace data — including slices returned by CoreBytes — before
+// releasing; the endpoint client calls it after the decode phase, when
+// the decoded flow has been copied into the RunTrace.
+func (t *Tracer) Release() {
+	for id, c := range t.cores {
+		if cap(c.buf) > 0 {
+			bufPool.Put(c.buf[:0])
+		}
+		delete(t.cores, id)
+	}
 }
 
 func (t *Tracer) charge(mc int64) {

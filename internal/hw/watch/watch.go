@@ -17,6 +17,7 @@ package watch
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/cost"
 )
@@ -69,8 +70,30 @@ type Unit struct {
 	meter *cost.Meter
 }
 
+// trapPool recycles trap-log backing arrays across runs; a data-flow
+// heavy run can log thousands of traps, and the fleet executes runs by
+// the thousand.
+var trapPool sync.Pool
+
 // NewUnit returns a unit charging costs to meter (which may be nil).
-func NewUnit(meter *cost.Meter) *Unit { return &Unit{meter: meter} }
+// The trap log starts on a pooled backing array when one is available.
+func NewUnit(meter *cost.Meter) *Unit {
+	u := &Unit{meter: meter}
+	if t, ok := trapPool.Get().([]Trap); ok {
+		u.traps = t[:0]
+	}
+	return u
+}
+
+// Release parks the trap log's backing array for reuse by a later
+// NewUnit. Callers must be done with the unit; Traps returns private
+// copies, so previously returned logs stay valid.
+func (u *Unit) Release() {
+	if cap(u.traps) > 0 {
+		trapPool.Put(u.traps[:0])
+	}
+	u.traps = nil
+}
 
 func (u *Unit) charge(mc int64) {
 	if u.meter != nil {
@@ -163,9 +186,15 @@ func (u *Unit) CheckAccess(thread, instrID int, addr, size, val int64, isWrite b
 	return true
 }
 
-// Traps returns all delivered traps in clock order.
+// Traps returns all delivered traps in clock order. The returned slice
+// is an exact-size private copy, so it stays valid after Release parks
+// the unit's internal log for reuse.
 func (u *Unit) Traps() []Trap {
-	out := append([]Trap(nil), u.traps...)
+	if len(u.traps) == 0 {
+		return nil
+	}
+	out := make([]Trap, len(u.traps))
+	copy(out, u.traps)
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Clock < out[j].Clock })
 	return out
 }

@@ -1,0 +1,859 @@
+package bytecode
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"repro/internal/ir"
+	"repro/internal/vm"
+)
+
+// frame is one activation record. Registers live in the thread's flat
+// regs array at [base, base+numRegs); locals live in the thread's stack
+// memory at word [memBase, memBase+nLocals).
+type frame struct {
+	fn       int32
+	base     int32
+	memBase  int32
+	retPC    int32
+	retDst   int32
+	callSite int32 // ir.Instr.ID of the call, -1 for the bottom frame
+}
+
+// thread is one VM thread. All slices are reused across runs: a reset
+// truncates, it never reallocates.
+type thread struct {
+	// shell is the *vm.Thread handed to hooks. Hook consumers across the
+	// pipeline (PT, watchpoints, replay recorder, sampling monitors) read
+	// only its ID; the bytecode engine keeps its real state here and
+	// mirrors just the ID.
+	shell vm.Thread
+
+	id         int
+	state      vm.ThreadState
+	blockMutex int64 // nonzero: waiting to lock this address
+	blockJoin  int   // >= 0: waiting for this thread to finish
+	pc         int32
+	frames     []frame
+	regs       []int64
+	regsTop    int32
+	stackTop   int32 // words in use on this thread's stack
+	result     int64
+	retrying   bool
+}
+
+// Machine executes one run at a time of a compiled program. It is NOT
+// safe for concurrent use; Program.Run hands each caller a pooled
+// Machine. All per-run state is reset, not reallocated, so a warm
+// Machine's hot loop allocates only what the program itself demands
+// (heap growth, print strings).
+type Machine struct {
+	prog *Program
+	mem  *vm.Memory
+	cfg  vm.Config
+
+	// src is the scheduler's randomness, driven directly as a Source64
+	// rather than through a rand.Rand: intn replicates Rand.Intn's exact
+	// draw-and-retry algorithm bit for bit (the RNG consumption order is
+	// part of the determinism contract with the interpreter) while
+	// skipping the wrapper calls, and preemptMax precomputes the
+	// rejection bound Int31n would otherwise derive with a division on
+	// every quantum expiry.
+	src          rand.Source64
+	preemptN     int32
+	preemptMax   int32
+	preemptMagic uint64 // ⌊2^preemptShift / preemptN⌋ + 1
+	preemptShift uint
+
+	threads    []*thread
+	threadPool []*thread
+	cur        int
+	quantum    int
+	clock      int64
+
+	prints        []string
+	workloadAddrs []int64
+	args          []int64 // call-argument scratch (consumed before any reentry)
+	fault         *vm.FailureReport
+}
+
+// NewMachine returns a cold machine for p.
+func NewMachine(p *Program) *Machine {
+	return &Machine{prog: p, mem: vm.NewMemory(p.nGlobals)}
+}
+
+// Reset prepares the machine for a fresh run under cfg, producing a
+// state indistinguishable from a newly built interpreter VM: zeroed
+// globals with initializers reapplied, the program string blob, workload
+// strings appended in order, the seeded RNG, and thread 0 entering main.
+func (m *Machine) Reset(cfg vm.Config) {
+	m.cfg = cfg.Normalized()
+	if m.src == nil {
+		// rand.NewSource's concrete type implements Source64; rand.New
+		// would use the same fast path internally.
+		m.src = rand.NewSource(cfg.Seed).(rand.Source64)
+	} else {
+		m.src.Seed(cfg.Seed)
+	}
+	m.setPreempt(m.cfg.PreemptMean)
+	m.mem.Reset(m.prog.nGlobals)
+	m.mem.SetStringBlob(m.prog.strBlob)
+	m.workloadAddrs = m.workloadAddrs[:0]
+	for _, s := range cfg.Workload.Strs {
+		m.workloadAddrs = append(m.workloadAddrs, m.mem.AddString(s))
+	}
+	for _, gi := range m.prog.inits {
+		if f := m.mem.StoreWord(gi.addr, gi.val); f != nil {
+			panic(fmt.Sprintf("global init: %v", f))
+		}
+	}
+	m.threadPool = append(m.threadPool, m.threads...)
+	m.threads = m.threads[:0]
+	m.cur = 0
+	m.quantum = 0
+	m.clock = 0
+	m.prints = m.prints[:0]
+	m.fault = nil
+	m.spawnThread(m.prog.mainIdx, nil, -1)
+}
+
+// Run resets the machine and executes to completion.
+func (m *Machine) Run(cfg vm.Config) *vm.Outcome {
+	m.Reset(cfg)
+	return m.run()
+}
+
+func (m *Machine) getThread() *thread {
+	if n := len(m.threadPool); n > 0 {
+		t := m.threadPool[n-1]
+		m.threadPool = m.threadPool[:n-1]
+		return t
+	}
+	return &thread{}
+}
+
+// spawnThread creates a thread running funcs[fnIdx]; arg, if non-nil, is
+// stored into parameter slot 0. Hook order matches the interpreter:
+// OnSpawn fires here, the caller's setReg/OnIndirect follow.
+func (m *Machine) spawnThread(fnIdx int32, arg *int64, parent int) *thread {
+	t := m.getThread()
+	tid := len(m.threads)
+	t.id = tid
+	t.shell = vm.Thread{ID: tid}
+	t.state = vm.ThreadRunnable
+	t.blockMutex = 0
+	t.blockJoin = 0
+	t.pc = 0
+	t.frames = t.frames[:0]
+	t.regs = t.regs[:0]
+	t.regsTop = 0
+	t.stackTop = 0
+	t.result = 0
+	t.retrying = false
+	m.mem.EnsureStack(tid)
+	m.threads = append(m.threads, t)
+	m.pushFrame(t, fnIdx, -1, 0, -1)
+	fi := &m.prog.funcs[fnIdx]
+	if arg != nil && fi.params > 0 {
+		addr := vm.StackAddr(tid, 0, 0)
+		if f := m.mem.StoreWord(addr, *arg); f != nil {
+			panic(fmt.Sprintf("spawn arg store: %v", f))
+		}
+	}
+	if m.cfg.Hooks.OnSpawn != nil && parent >= 0 {
+		m.cfg.Hooks.OnSpawn(parent, tid, fi.ir, m.clock)
+	}
+	return t
+}
+
+// pushFrame enters funcs[fnIdx] on t. The overflow pre-check mirrors the
+// interpreter's and guarantees the local-zeroing cannot fault.
+func (m *Machine) pushFrame(t *thread, fnIdx, callSite, retPC, retDst int32) *vm.Fault {
+	fi := &m.prog.funcs[fnIdx]
+	if (int(t.stackTop)+int(fi.nLocals)+8)*8 >= vm.StackStride {
+		return &vm.Fault{Kind: vm.FaultStackOverflow}
+	}
+	base := t.regsTop
+	need := int(base) + int(fi.numRegs)
+	if need <= cap(t.regs) {
+		t.regs = t.regs[:need]
+		clear(t.regs[base:])
+	} else {
+		grown := make([]int64, need, need*2+16)
+		copy(grown, t.regs[:base])
+		t.regs = grown
+	}
+	t.regsTop = int32(need)
+	if fi.nLocals > 0 {
+		m.mem.ZeroStackWords(t.id, int(t.stackTop), int(fi.nLocals))
+	}
+	t.frames = append(t.frames, frame{
+		fn: fnIdx, base: base, memBase: t.stackTop,
+		retPC: retPC, retDst: retDst, callSite: callSite,
+	})
+	t.stackTop += fi.nLocals
+	t.pc = fi.entry
+	return nil
+}
+
+// val resolves an operand reference against a frame-register window.
+func (m *Machine) val(t *thread, base, ref int32) int64 {
+	if ref >= 0 {
+		return t.regs[base+ref]
+	}
+	return m.prog.consts[^ref]
+}
+
+func (m *Machine) stackTrace(t *thread) []vm.StackEntry {
+	out := make([]vm.StackEntry, 0, len(t.frames))
+	for i := len(t.frames) - 1; i >= 0; i-- {
+		fr := &t.frames[i]
+		out = append(out, vm.StackEntry{
+			Fn: m.prog.funcs[fr.fn].name, CallSiteID: int(fr.callSite),
+		})
+	}
+	return out
+}
+
+func (m *Machine) failAt(t *thread, pc int32, f *vm.Fault) {
+	in := m.prog.ir.Instrs[pc]
+	m.fault = &vm.FailureReport{
+		Kind:     f.Kind,
+		InstrID:  in.ID,
+		Pos:      in.Pos,
+		ThreadID: t.id,
+		Stack:    m.stackTrace(t),
+		Msg:      f.Msg,
+	}
+}
+
+// currentPCOf mirrors VM.currentInstrOf: a thread with no frames is
+// attributed to instruction 0.
+func (m *Machine) currentPCOf(t *thread) int32 {
+	if len(t.frames) == 0 {
+		return 0
+	}
+	return t.pc
+}
+
+func (m *Machine) outcome() *vm.Outcome {
+	var prints []string
+	if len(m.prints) > 0 {
+		prints = make([]string, len(m.prints))
+		copy(prints, m.prints)
+	}
+	if m.fault != nil {
+		return &vm.Outcome{Failed: true, Report: m.fault, Steps: m.clock, Prints: prints}
+	}
+	return &vm.Outcome{Exit: m.threads[0].result, Steps: m.clock, Prints: prints}
+}
+
+// run executes until main returns, a fault occurs, deadlock, or the
+// step limit is reached — the same decision order as VM.Run.
+func (m *Machine) run() *vm.Outcome {
+	for {
+		if m.fault != nil {
+			return m.outcome()
+		}
+		if m.threads[0].state == vm.ThreadDone {
+			return m.outcome()
+		}
+		if m.clock >= m.cfg.MaxSteps {
+			t := m.threads[m.cur]
+			pc := m.currentPCOf(t)
+			in := m.prog.ir.Instrs[pc]
+			m.fault = &vm.FailureReport{
+				Kind: vm.FaultHang, InstrID: in.ID, Pos: in.Pos, ThreadID: t.id,
+				Stack: m.stackTrace(t), Msg: "step limit exceeded",
+			}
+			continue
+		}
+		// Quantum fast path: if the current thread is runnable with
+		// quantum left, the interpreter's schedule() returns it without
+		// consuming RNG, and the runnable count it builds first cannot
+		// change that outcome — so skip counting entirely and burn the
+		// whole quantum inside runThread's inner loop.
+		if cur := m.threads[m.cur]; cur.state == vm.ThreadRunnable && m.quantum > 0 {
+			m.quantum--
+			m.runThread(cur)
+			continue
+		}
+		t := m.schedule()
+		if t == nil {
+			// All threads blocked: deadlock. Attribute it to a thread
+			// blocked on a mutex rather than a joiner, as the
+			// interpreter does.
+			var bt *thread
+			for _, th := range m.threads {
+				if th.state != vm.ThreadBlocked {
+					continue
+				}
+				if th.blockMutex != 0 {
+					bt = th
+					break
+				}
+				if bt == nil {
+					bt = th
+				}
+			}
+			if bt == nil {
+				return m.outcome()
+			}
+			in := m.prog.ir.Instrs[m.currentPCOf(bt)]
+			var others []int
+			for _, th := range m.threads {
+				if th != bt && th.state == vm.ThreadBlocked && th.blockMutex != 0 {
+					others = append(others, m.prog.ir.Instrs[m.currentPCOf(th)].ID)
+				}
+			}
+			m.fault = &vm.FailureReport{
+				Kind: vm.FaultDeadlock, InstrID: in.ID, Pos: in.Pos, ThreadID: bt.id,
+				Stack: m.stackTrace(bt), Msg: "all threads blocked", OtherPCs: others,
+			}
+			continue
+		}
+		m.runThread(t)
+	}
+}
+
+// setPreempt precomputes the constants preemptDraw needs for
+// Intn(2*mean): the rejection bound, and a Granlund–Montgomery
+// reciprocal for the modulo — with l = ⌈log2 n⌉ and
+// magic = ⌊2^(31+l)/n⌋+1, ⌊v/n⌋ == (v*magic)>>(31+l) exactly for all
+// 0 <= v < 2^31, and the product stays below 2^63. Turns both
+// per-quantum-expiry hardware divisions into multiplies.
+func (m *Machine) setPreempt(mean int) {
+	m.preemptN = int32(2 * mean)
+	m.preemptMax = int32((1 << 31) - 1 - (1<<31)%uint32(m.preemptN))
+	m.preemptShift = 31 + uint(bits.Len32(uint32(m.preemptN-1)))
+	m.preemptMagic = (uint64(1)<<m.preemptShift)/uint64(m.preemptN) + 1
+}
+
+// int31 mirrors rand.(*Rand).Int31 on the machine's source.
+func (m *Machine) int31() int32 { return int32(m.src.Int63() >> 32) }
+
+// preemptDraw replicates rand.(*Rand).Intn(2*PreemptMean) exactly —
+// same draws from the source in the same order, same result — using the
+// rejection bound and reciprocal precomputed by Reset instead of two
+// divisions per call.
+func (m *Machine) preemptDraw() int {
+	n := m.preemptN
+	if n&(n-1) == 0 {
+		return int(m.int31() & (n - 1))
+	}
+	v := m.int31()
+	for v > m.preemptMax {
+		v = m.int31()
+	}
+	return int(v - int32((uint64(v)*m.preemptMagic)>>m.preemptShift)*n)
+}
+
+// intnDyn replicates rand.(*Rand).Intn for an n only known at call time
+// (the runnable count).
+func (m *Machine) intnDyn(n int32) int {
+	if n&(n-1) == 0 {
+		return int(m.int31() & (n - 1))
+	}
+	max := int32((1 << 31) - 1 - (1<<31)%uint32(n))
+	v := m.int31()
+	for v > max {
+		v = m.int31()
+	}
+	return int(v % n)
+}
+
+// schedule picks the next thread after the run loop's quantum fast
+// path declined. It consumes the RNG in exactly the interpreter's order
+// — one Intn(runnable) + one Intn(2*PreemptMean) per quantum expiry —
+// but counts runnables and picks the k-th in thread order instead of
+// materializing a slice, which removes the single largest allocation of
+// the interpreter's hot loop.
+func (m *Machine) schedule() *thread {
+	n := 0
+	for _, th := range m.threads {
+		if th.state == vm.ThreadRunnable {
+			n++
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	k := m.intnDyn(int32(n))
+	var next *thread
+	for _, th := range m.threads {
+		if th.state != vm.ThreadRunnable {
+			continue
+		}
+		if k == 0 {
+			next = th
+			break
+		}
+		k--
+	}
+	m.quantum = 1 + m.preemptDraw()
+	if next.id != m.cur {
+		if m.cfg.Hooks.OnSchedule != nil {
+			m.cfg.Hooks.OnSchedule(m.cur, next.id, m.clock)
+		}
+		m.cur = next.id
+	}
+	return next
+}
+
+func (m *Machine) wakeJoiners(tid int) {
+	for _, th := range m.threads {
+		if th.state == vm.ThreadBlocked && th.blockMutex == 0 && th.blockJoin == tid {
+			th.state = vm.ThreadRunnable
+			th.blockMutex = 0
+			th.blockJoin = -1
+		}
+	}
+}
+
+func (m *Machine) doRet(t *thread, pc int32, in *instr) {
+	fr := t.frames[len(t.frames)-1]
+	ret := int64(0)
+	if in.sz == 1 {
+		ret = m.val(t, fr.base, in.a)
+	}
+	t.frames = t.frames[:len(t.frames)-1]
+	t.stackTop = fr.memBase
+	t.regsTop = fr.base
+	t.regs = t.regs[:fr.base]
+	if len(t.frames) == 0 {
+		t.state = vm.ThreadDone
+		t.result = ret
+		m.wakeJoiners(t.id)
+		return
+	}
+	// Non-bottom frames always have a valid return site: calls are never
+	// block terminators, so the instruction after the call exists.
+	if m.cfg.Hooks.OnIndirect != nil {
+		m.cfg.Hooks.OnIndirect(&t.shell, m.prog.ir.Instrs[pc], m.prog.ir.Instrs[fr.retPC], m.clock)
+	}
+	t.pc = fr.retPC
+	if fr.retDst >= 0 {
+		parent := &t.frames[len(t.frames)-1]
+		t.regs[parent.base+fr.retDst] = ret
+	}
+}
+
+// opVal resolves an operand reference: a register in the current frame
+// window for refs >= 0, a constant-pool entry for negative refs.
+func opVal(regs, consts []int64, base, ref int32) int64 {
+	if ref >= 0 {
+		return regs[base+ref]
+	}
+	return consts[^ref]
+}
+
+// runThread executes instructions of t until its quantum is spent, it
+// blocks or finishes, it faults, or the step limit is reached. Clock and
+// hook semantics mirror VM.step exactly: OnStep fires (and the clock
+// advances) only for the first attempt of a blocking builtin, and hooks
+// during execution see the post-increment clock.
+//
+// The hot machine state — pc, clock, quantum, and the current frame's
+// register window — lives in locals for the whole quantum and is flushed
+// at every exit (the done label below), so the per-instruction cost is
+// the dispatch itself rather than Machine/thread field traffic. Helper
+// calls that read that state through the Machine (doRet and spawnThread
+// consult m.clock for their hooks) get an explicit flush first. The
+// caller has already accounted for the first step's quantum (either
+// schedule() granting a fresh one, or the run loop's fast-path
+// decrement); each further iteration re-checks the local quantum because
+// opYield zeroes it mid-quantum while the thread stays runnable.
+func (m *Machine) runThread(t *thread) {
+	code := m.prog.code
+	consts := m.prog.consts
+	irInstrs := m.prog.ir.Instrs
+	mem := m.mem
+	onStep := m.cfg.Hooks.OnStep
+	maxSteps := m.cfg.MaxSteps
+	pc := t.pc
+	clk := m.clock
+	q := m.quantum
+	retrying := t.retrying
+	t.retrying = false
+	regs := t.regs
+	top := &t.frames[len(t.frames)-1]
+	base, memBase := top.base, top.memBase
+	for {
+		in := &code[pc]
+		if !retrying {
+			if onStep != nil {
+				onStep(&t.shell, irInstrs[pc], clk)
+			}
+			clk++
+		} else {
+			retrying = false
+		}
+		advance := true
+		switch in.op {
+		case opMov:
+			if in.dst >= 0 {
+				regs[base+in.dst] = opVal(regs, consts, base, in.a)
+			}
+		case opLocalAddr:
+			if in.dst >= 0 {
+				regs[base+in.dst] = vm.StackAddr(t.id, int(memBase), int(in.imm))
+			}
+		case opFieldAddr:
+			if in.dst >= 0 {
+				regs[base+in.dst] = opVal(regs, consts, base, in.a) + in.imm
+			}
+		case opIndexAddr:
+			if in.dst >= 0 {
+				regs[base+in.dst] = opVal(regs, consts, base, in.a) + opVal(regs, consts, base, in.b)*in.imm
+			}
+		case opLoad:
+			addr := opVal(regs, consts, base, in.a)
+			var val int64
+			var f *vm.Fault
+			if in.sz == 8 {
+				val, f = mem.LoadWord(addr)
+			} else {
+				val, f = mem.LoadByte(addr)
+			}
+			if f != nil {
+				m.failAt(t, pc, f)
+				goto done
+			}
+			if in.dst >= 0 {
+				regs[base+in.dst] = val
+			}
+			if m.cfg.Hooks.OnLoad != nil {
+				m.cfg.Hooks.OnLoad(&t.shell, irInstrs[pc], addr, val, int64(in.sz), clk)
+			}
+		case opStore:
+			addr := opVal(regs, consts, base, in.a)
+			val := opVal(regs, consts, base, in.b)
+			var f *vm.Fault
+			if in.sz == 8 {
+				f = mem.StoreWord(addr, val)
+			} else {
+				f = mem.StoreByte(addr, val)
+			}
+			if f != nil {
+				m.failAt(t, pc, f)
+				goto done
+			}
+			if m.cfg.Hooks.OnStore != nil {
+				m.cfg.Hooks.OnStore(&t.shell, irInstrs[pc], addr, val, int64(in.sz), clk)
+			}
+		case opAdd:
+			if in.dst >= 0 {
+				regs[base+in.dst] = opVal(regs, consts, base, in.a) + opVal(regs, consts, base, in.b)
+			}
+		case opSub:
+			if in.dst >= 0 {
+				regs[base+in.dst] = opVal(regs, consts, base, in.a) - opVal(regs, consts, base, in.b)
+			}
+		case opMul:
+			if in.dst >= 0 {
+				regs[base+in.dst] = opVal(regs, consts, base, in.a) * opVal(regs, consts, base, in.b)
+			}
+		case opDiv:
+			b := opVal(regs, consts, base, in.b)
+			if b == 0 {
+				m.failAt(t, pc, &vm.Fault{Kind: vm.FaultDivZero})
+				goto done
+			}
+			if in.dst >= 0 {
+				regs[base+in.dst] = opVal(regs, consts, base, in.a) / b
+			}
+		case opMod:
+			b := opVal(regs, consts, base, in.b)
+			if b == 0 {
+				m.failAt(t, pc, &vm.Fault{Kind: vm.FaultDivZero})
+				goto done
+			}
+			if in.dst >= 0 {
+				regs[base+in.dst] = opVal(regs, consts, base, in.a) % b
+			}
+		case opEq:
+			if in.dst >= 0 {
+				regs[base+in.dst] = b2i(opVal(regs, consts, base, in.a) == opVal(regs, consts, base, in.b))
+			}
+		case opNe:
+			if in.dst >= 0 {
+				regs[base+in.dst] = b2i(opVal(regs, consts, base, in.a) != opVal(regs, consts, base, in.b))
+			}
+		case opLt:
+			if in.dst >= 0 {
+				regs[base+in.dst] = b2i(opVal(regs, consts, base, in.a) < opVal(regs, consts, base, in.b))
+			}
+		case opLe:
+			if in.dst >= 0 {
+				regs[base+in.dst] = b2i(opVal(regs, consts, base, in.a) <= opVal(regs, consts, base, in.b))
+			}
+		case opGt:
+			if in.dst >= 0 {
+				regs[base+in.dst] = b2i(opVal(regs, consts, base, in.a) > opVal(regs, consts, base, in.b))
+			}
+		case opGe:
+			if in.dst >= 0 {
+				regs[base+in.dst] = b2i(opVal(regs, consts, base, in.a) >= opVal(regs, consts, base, in.b))
+			}
+		case opNot:
+			if in.dst >= 0 {
+				regs[base+in.dst] = b2i(opVal(regs, consts, base, in.a) == 0)
+			}
+		case opNeg:
+			if in.dst >= 0 {
+				regs[base+in.dst] = -opVal(regs, consts, base, in.a)
+			}
+		case opBr:
+			taken := opVal(regs, consts, base, in.a) != 0
+			if m.cfg.Hooks.OnBranch != nil {
+				m.cfg.Hooks.OnBranch(&t.shell, irInstrs[pc], taken, clk)
+			}
+			if taken {
+				pc = in.p
+			} else {
+				pc = in.q
+			}
+			advance = false
+		case opJmp:
+			pc = in.p
+			advance = false
+		case opRet:
+			m.clock = clk // doRet's OnIndirect hook reads m.clock
+			m.doRet(t, pc, in)
+			if len(t.frames) == 0 {
+				goto done // thread finished; currentPCOf ignores pc
+			}
+			pc = t.pc
+			regs = t.regs
+			top = &t.frames[len(t.frames)-1]
+			base, memBase = top.base, top.memBase
+			advance = false
+		case opCall:
+			argN := int(in.imm)
+			args := m.args[:0]
+			for k := 0; k < argN; k++ {
+				args = append(args, opVal(regs, consts, base, m.prog.argRefs[int(in.q)+k]))
+			}
+			m.args = args
+			if f := m.pushFrame(t, in.p, pc, pc+1, in.dst); f != nil {
+				m.failAt(t, pc, f)
+				goto done
+			}
+			newBase := t.frames[len(t.frames)-1].memBase
+			for k := 0; k < argN; k++ {
+				addr := vm.StackAddr(t.id, int(newBase), k)
+				if f := mem.StoreWord(addr, args[k]); f != nil {
+					m.failAt(t, pc, f)
+					goto done
+				}
+			}
+			if m.cfg.Hooks.OnIndirect != nil {
+				entry := m.prog.funcs[in.p].entry
+				m.cfg.Hooks.OnIndirect(&t.shell, irInstrs[pc], irInstrs[entry], clk)
+			}
+			pc = t.pc
+			regs = t.regs
+			top = &t.frames[len(t.frames)-1]
+			base, memBase = top.base, top.memBase
+			advance = false
+		case opMalloc:
+			addr, f := mem.Malloc(opVal(regs, consts, base, in.a))
+			if f != nil {
+				m.failAt(t, pc, f)
+				goto done
+			}
+			if in.dst >= 0 {
+				regs[base+in.dst] = addr
+			}
+		case opFree:
+			if f := mem.Free(opVal(regs, consts, base, in.a)); f != nil {
+				m.failAt(t, pc, f)
+				goto done
+			}
+		case opSpawn:
+			arg := opVal(regs, consts, base, in.a)
+			m.clock = clk // spawnThread's OnSpawn hook reads m.clock
+			child := m.spawnThread(in.p, &arg, t.id)
+			if in.dst >= 0 {
+				regs[base+in.dst] = int64(child.id)
+			}
+			if m.cfg.Hooks.OnIndirect != nil {
+				entry := m.prog.funcs[in.p].entry
+				m.cfg.Hooks.OnIndirect(&t.shell, irInstrs[pc], irInstrs[entry], clk)
+			}
+		case opJoin:
+			tid := int(opVal(regs, consts, base, in.a))
+			if tid >= 0 && tid < len(m.threads) && m.threads[tid].state != vm.ThreadDone {
+				t.state = vm.ThreadBlocked
+				t.blockMutex = 0
+				t.blockJoin = tid
+				goto blocked
+			}
+		case opLock:
+			addr := opVal(regs, consts, base, in.a)
+			owner, f := mem.LoadWord(addr)
+			if f != nil {
+				m.failAt(t, pc, f)
+				goto done
+			}
+			if owner != 0 {
+				t.state = vm.ThreadBlocked
+				t.blockMutex = addr
+				t.blockJoin = -1
+				goto blocked
+			}
+			if f := mem.StoreWord(addr, int64(t.id)+1); f != nil {
+				m.failAt(t, pc, f)
+				goto done
+			}
+		case opUnlock:
+			addr := opVal(regs, consts, base, in.a)
+			if _, f := mem.LoadWord(addr); f != nil {
+				m.failAt(t, pc, f)
+				goto done
+			}
+			if f := mem.StoreWord(addr, 0); f != nil {
+				m.failAt(t, pc, f)
+				goto done
+			}
+			for _, th := range m.threads {
+				if th.state == vm.ThreadBlocked && th.blockMutex == addr {
+					th.state = vm.ThreadRunnable
+					th.blockMutex = 0
+					th.blockJoin = -1
+				}
+			}
+		case opAssert:
+			if opVal(regs, consts, base, in.a) == 0 {
+				m.failAt(t, pc, &vm.Fault{Kind: vm.FaultAssert, Msg: "assert failed"})
+				goto done
+			}
+		case opPrint:
+			argN := int(in.q)
+			parts := make([]string, argN)
+			for k := 0; k < argN; k++ {
+				parts[k] = strconv.FormatInt(opVal(regs, consts, base, m.prog.argRefs[int(in.p)+k]), 10)
+			}
+			m.prints = append(m.prints, strings.Join(parts, " "))
+		case opPrints:
+			s, f := mem.LoadCStringFast(opVal(regs, consts, base, in.a))
+			if f != nil {
+				m.failAt(t, pc, f)
+				goto done
+			}
+			m.prints = append(m.prints, s)
+		case opStrlen:
+			s, f := mem.LoadCStringFast(opVal(regs, consts, base, in.a))
+			if f != nil {
+				m.failAt(t, pc, f)
+				goto done
+			}
+			if in.dst >= 0 {
+				regs[base+in.dst] = int64(len(s))
+			}
+		case opInput:
+			i := int(opVal(regs, consts, base, in.a))
+			var val int64
+			if i >= 0 && i < len(m.cfg.Workload.Ints) {
+				val = m.cfg.Workload.Ints[i]
+			}
+			if in.dst >= 0 {
+				regs[base+in.dst] = val
+			}
+		case opInputStr:
+			i := int(opVal(regs, consts, base, in.a))
+			var addr int64
+			if i >= 0 && i < len(m.workloadAddrs) {
+				addr = m.workloadAddrs[i]
+			}
+			if in.dst >= 0 {
+				regs[base+in.dst] = addr
+			}
+		case opYield:
+			q = 0
+		case opFail:
+			m.failAt(t, pc, &vm.Fault{Kind: vm.FaultOutOfBounds, Msg: m.prog.failMsgs[in.p]})
+			goto done
+		}
+		if advance {
+			pc++
+		}
+		if clk >= maxSteps {
+			goto done
+		}
+		if q > 0 {
+			q--
+			continue
+		}
+		// Quantum expired with t still runnable: reschedule inline
+		// instead of bouncing through the run loop. The interpreter's
+		// pre-schedule checks are all vacuously satisfied here (the step
+		// above completed without fault or block, so no failure is
+		// pending, main cannot have finished unless t was main — which
+		// would have exited above — and the clock was just checked), and
+		// schedule cannot return nil because t itself is runnable. The
+		// first step of the fresh quantum runs without a decrement, as in
+		// the run loop's fast path.
+		m.clock = clk
+		t.pc = pc
+		if len(m.threads) == 1 {
+			// Single-threaded program: schedule() would count one
+			// runnable, burn one Int31 on Intn(1) (always 0), pick t
+			// again without an OnSchedule event, and grant a fresh
+			// quantum — do just the draws.
+			m.int31()
+			q = 1 + m.preemptDraw()
+			continue
+		}
+		if next := m.schedule(); next != t {
+			t = next
+			pc = t.pc
+			regs = t.regs
+			top = &t.frames[len(t.frames)-1]
+			base, memBase = top.base, top.memBase
+			retrying = t.retrying
+			t.retrying = false
+		}
+		q = m.quantum
+	}
+blocked:
+	t.retrying = true // re-execute as the same logical step
+	q = 0             // give up the processor
+done:
+	t.pc = pc
+	m.clock = clk
+	m.quantum = q
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Run executes one run on a pooled machine and reports whether the
+// machine state was reused from a previous run (the vm.state_reuse
+// telemetry signal).
+func (p *Program) Run(cfg vm.Config) (*vm.Outcome, bool) {
+	reused := true
+	m, ok := p.pool.Get().(*Machine)
+	if !ok {
+		m = NewMachine(p)
+		reused = false
+	}
+	out := m.Run(cfg)
+	p.pool.Put(m)
+	return out, reused
+}
+
+// RunProgram compiles prog and executes one run — the convenience path
+// for tests and tools. Production paths compile once via
+// analysis.Bytecode and call Program.Run.
+func RunProgram(prog *ir.Program, cfg vm.Config) *vm.Outcome {
+	out, _ := Compile(prog).Run(cfg)
+	return out
+}

@@ -1,0 +1,34 @@
+package bytecode
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDrawsMatchMathRand pins the hand-rolled Intn replicas to
+// math/rand. The scheduler's RNG consumption order and results are part
+// of the determinism contract with the interpreter (which draws through
+// rand.Rand), so preemptDraw — including its precomputed rejection bound
+// and reciprocal modulo — and intnDyn must match bit for bit, draw for
+// draw, for every preemption mean and runnable count the fleet can
+// configure.
+func TestDrawsMatchMathRand(t *testing.T) {
+	for mean := 1; mean <= 24; mean++ {
+		for seed := int64(0); seed < 4; seed++ {
+			m := &Machine{src: rand.NewSource(seed).(rand.Source64)}
+			m.setPreempt(mean)
+			ref := rand.New(rand.NewSource(seed))
+			for i := 0; i < 2000; i++ {
+				// Interleave a runnable-count draw like schedule() does, so
+				// both generators stay in lockstep across mixed call patterns.
+				n := int32(1 + i%9)
+				if got, want := m.intnDyn(n), ref.Intn(int(n)); got != want {
+					t.Fatalf("mean=%d seed=%d draw=%d: intnDyn(%d)=%d, rand.Intn=%d", mean, seed, i, n, got, want)
+				}
+				if got, want := m.preemptDraw(), ref.Intn(2*mean); got != want {
+					t.Fatalf("mean=%d seed=%d draw=%d: preemptDraw()=%d, rand.Intn(%d)=%d", mean, seed, i, got, 2*mean, want)
+				}
+			}
+		}
+	}
+}

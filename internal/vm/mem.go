@@ -102,6 +102,20 @@ type Memory struct {
 
 	allocs     []*alloc // sorted by base
 	allocIndex map[int64]*alloc
+
+	// stackPool holds zeroed stack regions recycled by Reset; EnsureStack
+	// prefers them over fresh allocations so a reused Memory (bytecode
+	// engine) does not pay a 64 KiB allocation per thread per run.
+	stackPool [][]byte
+
+	// One-entry caches for the bytecode engine's word-sized fast path
+	// (memfast.go): the last stack and heap allocation touched. Both are
+	// revalidated on every use and invalidated by Reset, so they are
+	// invisible to fault semantics. The interpreter's byte-loop path
+	// never consults them.
+	cacheTid   int
+	cacheStack []byte
+	cacheAlloc *alloc
 }
 
 // NewMemory returns an empty address space with room for nGlobals global
@@ -126,11 +140,18 @@ func (m *Memory) AddString(s string) int64 {
 	return addr
 }
 
-// EnsureStack creates (or returns) the stack region for a thread.
+// EnsureStack creates (or returns) the stack region for a thread,
+// recycling a zeroed region parked by Reset when one is available.
 func (m *Memory) EnsureStack(tid int) {
-	if _, ok := m.stacks[tid]; !ok {
-		m.stacks[tid] = make([]byte, StackStride)
+	if _, ok := m.stacks[tid]; ok {
+		return
 	}
+	if n := len(m.stackPool); n > 0 {
+		m.stacks[tid] = m.stackPool[n-1]
+		m.stackPool = m.stackPool[:n-1]
+		return
+	}
+	m.stacks[tid] = make([]byte, StackStride)
 }
 
 // StackAddr returns the address of word slot idx of frame-base fb in

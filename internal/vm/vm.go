@@ -180,6 +180,11 @@ func (c *Config) withDefaults() Config {
 	return out
 }
 
+// Normalized returns the config with the interpreter's defaults applied.
+// Alternative engines (internal/vm/bytecode) call this so a zero
+// MaxSteps or PreemptMean means the same thing on every engine.
+func (c Config) Normalized() Config { return c.withDefaults() }
+
 // VM executes one program run.
 type VM struct {
 	Prog *ir.Program
