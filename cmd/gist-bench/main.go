@@ -22,16 +22,17 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, sketches, fig9, fig10, fig11, fig12, fig13, breakdown, swpt, extpt, chaos, perf, sched, crashloop, service, vm, all")
+		exp      = flag.String("exp", "all", "experiment: table1, sketches, fig9, fig10, fig11, fig12, fig13, breakdown, swpt, extpt, chaos, perf, sched, crashloop, service, vm, ingest, all")
 		bugList  = flag.String("bugs", "", "comma-separated bug subset (default: all 12)")
 		runs     = flag.Int("runs", 0, "runs per measurement point (0 = experiment default)")
 		workers  = flag.Int("workers", 0, "fan-out width for suite sweeps and the fleet inside each diagnosis (0 = GOMAXPROCS); results are byte-identical for any value")
-		jsonPath = flag.String("json", "", "with -exp perf, sched, crashloop, service, or vm: write the results to this JSON file (e.g. BENCH_fleet.json)")
+		jsonPath = flag.String("json", "", "with -exp perf, sched, crashloop, service, vm, or ingest: write the results to this JSON file (e.g. BENCH_fleet.json)")
 		agents   = flag.Int("agents", 1000, "with -exp service: total simulated agent count across all tenants")
+		dedup    = flag.Int("dedup", 20, "with -exp ingest: reports submitted per distinct failure signature (the dedup ratio; min 10)")
 
 		traceOut    = flag.String("trace-out", "", "write a JSONL phase-span event log to this file")
 		metricsJSON = flag.String("metrics-json", "", "write a metrics snapshot to this file on exit")
-		validate    = flag.String("validate", "", "validate an existing BENCH JSON file (perf, sched, crashloop, service, or vm) against the observability schema, then exit")
+		validate    = flag.String("validate", "", "validate an existing BENCH JSON file (perf, sched, crashloop, service, vm, or ingest) against the observability schema, then exit")
 	)
 	flag.Parse()
 
@@ -47,6 +48,9 @@ func main() {
 	}
 	if *agents < 1 {
 		fatalf("-agents %d must be at least 1", *agents)
+	}
+	if *dedup < 10 {
+		fatalf("-dedup %d must be at least 10 (the experiment proves a >= 10:1 dedup ratio)", *dedup)
 	}
 
 	if *validate != "" {
@@ -270,6 +274,20 @@ func main() {
 		}
 		fmt.Print(experiments.RenderVM(res))
 		writeBench("vm", res.WriteJSON)
+	}
+	if *exp == "ingest" {
+		fmt.Printf("==== ingest ====\n\n")
+		names := make([]string, len(suite))
+		for i, b := range suite {
+			names[i] = b.Name
+		}
+		res, err := experiments.IngestLoad(names, *dedup, 2)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gist-bench: ingest: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(experiments.RenderIngest(res))
+		writeBench("ingest", res.WriteJSON)
 	}
 	if *exp == "service" {
 		fmt.Printf("==== service ====\n\n")

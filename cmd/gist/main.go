@@ -67,6 +67,10 @@ func main() {
 		lease       = flag.Duration("lease", 10*time.Second, "with -serve: task lease TTL before a silent agent's work is reassigned")
 		pollTimeout = flag.Duration("poll-timeout", 5*time.Second, "with -serve: cap on how long an agent long-poll is held open")
 
+		ingestCacheBytes = flag.Int64("ingest-cache-bytes", 0, "with -serve: sketch LRU cache budget in bytes (0 = default 8 MiB); evicted sketches re-render from the checkpoint store on demand")
+		ingestTaskTTL    = flag.Duration("ingest-task-ttl", 0, "with -serve: how long completed-task idempotency keys are retained for duplicate-upload detection (0 = default 4x lease)")
+		ingestTaskCap    = flag.Int("ingest-task-cap", 0, "with -serve: max completed-task idempotency keys retained (0 = default 65536); live tasks are never evicted")
+
 		agentMode   = flag.Bool("agent", false, "run as an endpoint agent: long-poll -server for tracking tasks, execute runs, upload traces")
 		serverURL   = flag.String("server", "", "with -agent or -submit: diagnosis server base URL, e.g. http://127.0.0.1:8443")
 		tenant      = flag.String("tenant", "default", "tenant label (serve/agent/submit modes)")
@@ -134,6 +138,9 @@ func main() {
 			Lease:              *lease,
 			PollTimeout:        *pollTimeout,
 			TransportFaultRate: *tfRate,
+			IngestCacheBytes:   *ingestCacheBytes,
+			IngestTaskTTL:      *ingestTaskTTL,
+			IngestTaskCap:      *ingestTaskCap,
 		}
 		if err := sf.Validate(); err != nil {
 			fatalf("%v", err)
@@ -312,11 +319,14 @@ func main() {
 // last durable generation.
 func runServe(f service.ServeFlags, fsync bool) {
 	srv := service.NewServer(service.Options{
-		Backend:     store.DirBackend{},
-		StateRoot:   f.StateDir,
-		LeaseTTL:    f.Lease,
-		PollTimeout: f.PollTimeout,
-		NoFsync:     !fsync,
+		Backend:          store.DirBackend{},
+		StateRoot:        f.StateDir,
+		LeaseTTL:         f.Lease,
+		PollTimeout:      f.PollTimeout,
+		NoFsync:          !fsync,
+		SketchCacheBytes: f.IngestCacheBytes,
+		DoneTaskTTL:      f.IngestTaskTTL,
+		MaxDoneTasks:     f.IngestTaskCap,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "gist: serve: "+format+"\n", args...)
 		},

@@ -8,6 +8,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/cfg"
 	"repro/internal/faults"
+	"repro/internal/ir"
 	"repro/internal/slicer"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
@@ -83,10 +84,16 @@ type iterState struct {
 
 	failing    []*RunTrace
 	successful []*RunTrace
-	health     FleetHealth
-	lost       []int
-	iterStart  int
-	addedNow   []int
+	// accum streams predictor contingency counters as runs are
+	// admitted, so Rank reads finished statistics instead of
+	// recomputing them from the retained populations. Proven equal to
+	// the batch recomputation (predict_test.go); rebuilt by Plan like
+	// the rest of the iteration state, never serialized.
+	accum     *PredictorAccum
+	health    FleetHealth
+	lost      []int
+	iterStart int
+	addedNow  []int
 
 	fleetSpan telemetry.Span
 }
@@ -276,9 +283,11 @@ func (c *Campaign) admit(job RunJob, rt *RunTrace) {
 	if rt.Failed() && rt.Outcome.Report.ID() == c.report.ID() {
 		if len(st.failing) < cfg.FailuresPerIter {
 			st.failing = append(st.failing, rt)
+			st.accum.Observe(rt, true)
 		}
 	} else if !rt.Failed() {
 		st.successful = append(st.successful, rt)
+		st.accum.Observe(rt, false)
 	}
 }
 
@@ -310,6 +319,7 @@ func (c *Campaign) Plan() {
 	for _, id := range st.window {
 		st.windowSet[id] = true
 	}
+	st.accum = NewPredictorAccum(cfg.Prog, cfg.Beta)
 	st.iterStart = len(c.overheads)
 }
 
@@ -420,8 +430,11 @@ func (c *Campaign) Rank() {
 	if lowConf {
 		st.health.LowConfidenceIters++
 	}
+	// The streaming accumulator already holds every admitted run's
+	// contingency counters; reading it here replaces the historical
+	// end-of-iteration batch recomputation, byte-identically.
 	sp := tel.StartSpanL(telemetry.PhaseRank, c.label)
-	ranked := RankPredictors(cfg.Prog, st.failing, st.successful, cfg.Beta)
+	ranked := st.accum.Ranked()
 	sp.End()
 	// Base the sketch on the best-instrumented failing run: under
 	// cooperative watchpoint partitioning, different failing runs
@@ -720,6 +733,19 @@ func (c *Campaign) Snapshot() (*CampaignSnapshot, error) {
 		}
 	}
 	return snap, nil
+}
+
+// RenderSketchJSON rebuilds the snapshot's sketch against prog and
+// renders it exactly as a live campaign does (MarshalIndentJSON), so a
+// sketch reloaded from a durable checkpoint after cache eviction is
+// byte-identical to the one the finishing campaign served from memory.
+// It fails when the snapshot carries no sketch (a campaign checkpointed
+// before its first ranking, or one that errored out).
+func (s *CampaignSnapshot) RenderSketchJSON(prog *ir.Program) ([]byte, error) {
+	if s.Sketch == nil {
+		return nil, fmt.Errorf("gist: checkpoint for %s has no sketch", s.Title)
+	}
+	return s.Sketch.toSketch(Config{Prog: prog}, s.Report).MarshalIndentJSON()
 }
 
 // Encode renders the snapshot as indented JSON with a trailing newline.

@@ -38,9 +38,48 @@ type ClusterConfig struct {
 	Engine Engine
 }
 
+// Validate rejects nonsense knob values, mirroring Config.Validate.
+// Negative counts used to slip through the zero-value defaulting and
+// quietly corrupt the sweep (a negative MaxSeedsPerCluster breaks the
+// seed-list bound, a negative Runs silently does nothing). Zero still
+// means "use the default".
+func (cfg *ClusterConfig) Validate() error {
+	if cfg.Prog == nil {
+		return fmt.Errorf("gist: cluster config requires a program")
+	}
+	for _, c := range []struct {
+		name string
+		v    int64
+	}{
+		{"runs", int64(cfg.Runs)},
+		{"preempt-mean", int64(cfg.PreemptMean)},
+		{"max-steps", cfg.MaxSteps},
+		{"max-seeds-per-cluster", int64(cfg.MaxSeedsPerCluster)},
+	} {
+		if c.v < 0 {
+			return fmt.Errorf("gist: cluster config %s must be >= 0, got %d", c.name, c.v)
+		}
+	}
+	return nil
+}
+
+// Admit folds one observed failure into the cluster: the recurrence
+// count always grows, the seed list only up to the cap. The streaming
+// ingestion front-end shares this admission rule so a submit-path
+// cluster accumulates evidence exactly like a fleet-sweep one.
+func (c *FailureCluster) Admit(seed int64, maxSeeds int) {
+	c.Count++
+	if len(c.Seeds) < maxSeeds {
+		c.Seeds = append(c.Seeds, seed)
+	}
+}
+
 // ClusterFailures runs the fleet uninstrumented and groups every observed
 // failure by identity. Clusters are returned most-frequent first.
-func ClusterFailures(cfg ClusterConfig) []*FailureCluster {
+func ClusterFailures(cfg ClusterConfig) ([]*FailureCluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if cfg.Runs == 0 {
 		cfg.Runs = 200
 	}
@@ -72,10 +111,7 @@ func ClusterFailures(cfg ClusterConfig) []*FailureCluster {
 			c = &FailureCluster{ID: id, Report: out.Report}
 			byID[id] = c
 		}
-		c.Count++
-		if len(c.Seeds) < cfg.MaxSeedsPerCluster {
-			c.Seeds = append(c.Seeds, seed)
-		}
+		c.Admit(seed, cfg.MaxSeedsPerCluster)
 	}
 	clusters := make([]*FailureCluster, 0, len(byID))
 	for _, c := range byID {
@@ -87,7 +123,7 @@ func ClusterFailures(cfg ClusterConfig) []*FailureCluster {
 		}
 		return clusters[i].ID < clusters[j].ID
 	})
-	return clusters
+	return clusters, nil
 }
 
 // RenderClusters summarizes clusters for an operator.

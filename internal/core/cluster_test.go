@@ -35,7 +35,7 @@ int main() {
 
 func TestClusterSeparatesDistinctBugs(t *testing.T) {
 	prog := ir.MustCompile("two.mc", twoBugs)
-	clusters := ClusterFailures(ClusterConfig{
+	clusters, err := ClusterFailures(ClusterConfig{
 		Prog: prog, Runs: 240, SeedBase: 1,
 		WorkloadPool: []vm.Workload{
 			{Ints: []int64{2}},
@@ -43,6 +43,9 @@ func TestClusterSeparatesDistinctBugs(t *testing.T) {
 			{Ints: []int64{5}},
 		},
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(clusters) != 2 {
 		for _, c := range clusters {
 			t.Logf("cluster %s: %d × %v at %s", c.ID, c.Count, c.Report.Kind, c.Report.Pos)
@@ -74,7 +77,10 @@ func TestClusterThenDiagnose(t *testing.T) {
 	// cluster using a seed from that cluster as the failure report source.
 	prog := ir.MustCompile("two.mc", twoBugs)
 	pool := []vm.Workload{{Ints: []int64{2}}, {Ints: []int64{0}}, {Ints: []int64{5}}}
-	clusters := ClusterFailures(ClusterConfig{Prog: prog, Runs: 240, SeedBase: 1, WorkloadPool: pool})
+	clusters, err := ClusterFailures(ClusterConfig{Prog: prog, Runs: 240, SeedBase: 1, WorkloadPool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(clusters) != 2 {
 		t.Fatalf("clusters: %d", len(clusters))
 	}
@@ -97,7 +103,10 @@ func TestClusterThenDiagnose(t *testing.T) {
 
 func TestClusterNoFailures(t *testing.T) {
 	prog := ir.MustCompile("ok.mc", `int main() { return 0; }`)
-	clusters := ClusterFailures(ClusterConfig{Prog: prog, Runs: 20, SeedBase: 1})
+	clusters, err := ClusterFailures(ClusterConfig{Prog: prog, Runs: 20, SeedBase: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(clusters) != 0 {
 		t.Errorf("healthy program produced clusters: %v", clusters)
 	}
@@ -196,7 +205,10 @@ int main() {
 	join(t);
 	return 0;
 }`)
-	clusters := ClusterFailures(ClusterConfig{Prog: prog, Runs: 50, SeedBase: 1})
+	clusters, err := ClusterFailures(ClusterConfig{Prog: prog, Runs: 50, SeedBase: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(clusters) != 1 {
 		t.Fatalf("expected 1 cluster, got %d", len(clusters))
 	}
@@ -209,5 +221,56 @@ int main() {
 	}
 	if c.ID != c.Report.ID() {
 		t.Errorf("cluster ID %s does not match its report identity %s", c.ID, c.Report.ID())
+	}
+}
+
+// TestClusterConfigValidate pins that nonsense knob values are rejected
+// up front instead of silently corrupting the sweep (a negative seed cap
+// used to break the seed-list bound without any diagnostic).
+func TestClusterConfigValidate(t *testing.T) {
+	prog := ir.MustCompile("ok.mc", `int main() { return 0; }`)
+	cases := []struct {
+		name string
+		cfg  ClusterConfig
+		ok   bool
+	}{
+		{"zero values default", ClusterConfig{Prog: prog}, true},
+		{"explicit sane knobs", ClusterConfig{Prog: prog, Runs: 10, PreemptMean: 2, MaxSteps: 1000, MaxSeedsPerCluster: 4}, true},
+		{"nil program", ClusterConfig{}, false},
+		{"negative runs", ClusterConfig{Prog: prog, Runs: -1}, false},
+		{"negative preempt mean", ClusterConfig{Prog: prog, PreemptMean: -3}, false},
+		{"negative max steps", ClusterConfig{Prog: prog, MaxSteps: -1}, false},
+		{"negative seed cap", ClusterConfig{Prog: prog, MaxSeedsPerCluster: -1}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("invalid config accepted")
+			}
+			// ClusterFailures must refuse the same configs rather than
+			// run with them.
+			if _, err := ClusterFailures(tc.cfg); (err == nil) != tc.ok {
+				t.Fatalf("ClusterFailures validation disagrees: err=%v", err)
+			}
+		})
+	}
+}
+
+// TestClusterAdmitCap pins the shared admission rule: counts always
+// grow, seeds only up to the cap.
+func TestClusterAdmitCap(t *testing.T) {
+	c := &FailureCluster{ID: "f0"}
+	for s := int64(0); s < 10; s++ {
+		c.Admit(s, 3)
+	}
+	if c.Count != 10 {
+		t.Errorf("count = %d, want 10", c.Count)
+	}
+	if len(c.Seeds) != 3 {
+		t.Errorf("seeds = %v, want 3 entries", c.Seeds)
 	}
 }

@@ -260,8 +260,10 @@ func ValidateBenchJSON(data []byte) error {
 		return ValidateServiceJSON(data)
 	case "vm":
 		return ValidateVMJSON(data)
+	case "ingest":
+		return ValidateIngestJSON(data)
 	default:
-		return fmt.Errorf("bench json: unknown experiment %q (want perf, sched, crashloop, service, or vm)", probe.Experiment)
+		return fmt.Errorf("bench json: unknown experiment %q (want perf, sched, crashloop, service, vm, or ingest)", probe.Experiment)
 	}
 }
 

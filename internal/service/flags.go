@@ -17,6 +17,9 @@ type ServeFlags struct {
 	Lease              time.Duration // -lease
 	PollTimeout        time.Duration // -poll-timeout
 	TransportFaultRate float64       // -transport-fault-rate
+	IngestCacheBytes   int64         // -ingest-cache-bytes
+	IngestTaskTTL      time.Duration // -ingest-task-ttl
+	IngestTaskCap      int           // -ingest-task-cap
 }
 
 // Validate rejects nonsensical serve flags, naming the flag at fault.
@@ -35,6 +38,15 @@ func (f ServeFlags) Validate() error {
 	}
 	if f.TransportFaultRate < 0 || f.TransportFaultRate > 1 {
 		return fmt.Errorf("-transport-fault-rate %g outside [0,1]", f.TransportFaultRate)
+	}
+	if f.IngestCacheBytes < 0 {
+		return fmt.Errorf("-ingest-cache-bytes %d must be >= 0 (0 = default)", f.IngestCacheBytes)
+	}
+	if f.IngestTaskTTL < 0 {
+		return fmt.Errorf("-ingest-task-ttl %v must be >= 0 (0 = default)", f.IngestTaskTTL)
+	}
+	if f.IngestTaskCap < 0 {
+		return fmt.Errorf("-ingest-task-cap %d must be >= 0 (0 = default)", f.IngestTaskCap)
 	}
 	return nil
 }

@@ -14,9 +14,11 @@ import (
 	"repro/internal/bugs"
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/ingest"
 	"repro/internal/store"
 	"repro/internal/supervise"
 	"repro/internal/telemetry"
+	"repro/internal/vm"
 )
 
 // Options tunes the diagnosis server. The zero value is usable: state
@@ -50,6 +52,21 @@ type Options struct {
 	StepTimeout time.Duration
 	// NoFsync disables checkpoint fsync (mirrors the CLI flag).
 	NoFsync bool
+	// SketchCacheBytes bounds the LRU cache finished sketches are served
+	// from (default 8 MiB; < 0 disables the bound). Evicted sketches are
+	// re-rendered on demand from the campaign's checkpoint store, so the
+	// cache keeps server memory flat without losing anything.
+	SketchCacheBytes int64
+	// DoneTaskTTL is how long a completed task's idempotency key is
+	// retained for duplicate-upload detection before eviction (default
+	// 4×LeaseTTL). Live tasks are never evicted.
+	DoneTaskTTL time.Duration
+	// MaxDoneTasks caps retained completed-task keys regardless of age
+	// (default 65536, FIFO by completion).
+	MaxDoneTasks int
+	// MaxSeedsPerSignature bounds each failure signature's recorded seed
+	// evidence (0 = 16, as in core.ClusterConfig).
+	MaxSeedsPerSignature int
 	// ConfigFor maps a bug name to its campaign configuration; nil
 	// means the registered bug suite's GistConfig.
 	ConfigFor func(bug string) (core.Config, error)
@@ -80,6 +97,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.StepTimeout <= 0 {
 		o.StepTimeout = 5 * time.Minute
+	}
+	if o.SketchCacheBytes == 0 {
+		o.SketchCacheBytes = 8 << 20
+	}
+	if o.DoneTaskTTL <= 0 {
+		o.DoneTaskTTL = 4 * o.LeaseTTL
+	}
+	if o.MaxDoneTasks <= 0 {
+		o.MaxDoneTasks = 65536
 	}
 	if o.ConfigFor == nil {
 		o.ConfigFor = func(bug string) (core.Config, error) {
@@ -112,6 +138,7 @@ type task struct {
 	leaseUntil time.Time // zero while queued
 
 	done    bool
+	doneAt  time.Time // when done became true; drives idempotency-key eviction
 	lost    bool
 	crashed bool
 	trace   *core.RunTrace
@@ -129,11 +156,13 @@ type agentInfo struct {
 	lastSeen time.Time
 }
 
-// campaignState tracks one (tenant, bug) diagnosis end to end.
+// campaignState tracks one diagnosis end to end. Finished sketch bytes
+// live in the server's LRU sketch cache (reloadable from the checkpoint
+// store), not here — retaining them per campaign is exactly the
+// unbounded growth the cache exists to prevent.
 type campaignState struct {
 	state         string
 	err           error
-	sketch        []byte // MarshalIndentJSON bytes, served verbatim
 	lowConfidence bool
 	restarts      int
 	done          chan struct{}
@@ -145,7 +174,18 @@ type tenantState struct {
 	agents    map[string]*agentInfo
 	queue     []*task
 	waiters   []*waiter
-	campaigns map[string]*campaignState // by bug
+	campaigns map[string]*campaignState // by campaignKey(bug, signature)
+}
+
+// campaignKey names one diagnosis stream within a tenant: the bug name,
+// refined by the failure signature for report submits. Discovery
+// submits (no report, sig "") keep the bare bug name, so the pre-ingest
+// wire behavior is unchanged for them.
+func campaignKey(bug, sig string) string {
+	if sig == "" {
+		return bug
+	}
+	return bug + "#" + sig
 }
 
 // Server is the diagnosis service. Create with NewServer, expose
@@ -154,10 +194,16 @@ type tenantState struct {
 type Server struct {
 	opts Options
 
+	front *ingest.Frontend
+	cache *ingest.SketchCache
+
 	mu       sync.Mutex
 	tenants  map[string]*tenantState
 	tasks    map[uint64]*task
 	nextTask uint64
+	// doneTasks holds completed tasks in completion order, the eviction
+	// queue for idempotency keys (guarded by mu).
+	doneTasks []*task
 
 	metrics metrics
 
@@ -176,6 +222,8 @@ func NewServer(opts Options) *Server {
 		tasks:   map[uint64]*task{},
 		closed:  make(chan struct{}),
 	}
+	s.front = ingest.NewFrontend(s.opts.MaxSeedsPerSignature)
+	s.cache = ingest.NewSketchCache(s.opts.SketchCacheBytes)
 	mux := http.NewServeMux()
 	mux.HandleFunc(PathHealthz, s.handleHealthz)
 	mux.HandleFunc(PathSubmit, jsonHandler(s, s.handleSubmit))
@@ -211,14 +259,20 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
-// WaitCampaign blocks until the (tenant, bug) campaign finishes;
-// it reports false when no such campaign exists.
+// WaitCampaign blocks until the (tenant, bug) discovery campaign
+// finishes; it reports false when no such campaign exists.
 func (s *Server) WaitCampaign(tenant, bug string) bool {
+	return s.WaitCampaignSig(tenant, bug, "")
+}
+
+// WaitCampaignSig blocks until the campaign for one failure signature
+// under (tenant, bug) finishes; "" addresses the discovery campaign.
+func (s *Server) WaitCampaignSig(tenant, bug, sig string) bool {
 	s.mu.Lock()
 	t := s.tenants[tenant]
 	var cs *campaignState
 	if t != nil {
-		cs = t.campaigns[bug]
+		cs = t.campaigns[campaignKey(bug, sig)]
 	}
 	s.mu.Unlock()
 	if cs == nil {
@@ -306,24 +360,39 @@ func (s *Server) handleSubmit(req *SubmitRequest) (*SubmitResponse, error) {
 	if req.Tenant == "" || req.Bug == "" {
 		return nil, badRequest("submit: tenant and bug are required")
 	}
+	if req.DiscoveryRuns < 0 {
+		return nil, badRequest("submit: discovery_runs must be >= 0, got %d", req.DiscoveryRuns)
+	}
 	cfg, err := s.opts.ConfigFor(req.Bug)
 	if err != nil {
 		return nil, badRequest("submit: %v", err)
 	}
+	// Ingest under the server mutex so the dedup decision and the
+	// campaign registration are one atomic step: exactly the Novel
+	// caller registers, everyone else observes the registered campaign.
 	s.mu.Lock()
 	t := s.tenant(req.Tenant)
-	if _, ok := t.campaigns[req.Bug]; ok {
+	dec := s.front.Ingest(req.Tenant, req.Bug, req.Report, req.Seed)
+	resp := &SubmitResponse{
+		Tenant: req.Tenant, Bug: req.Bug,
+		Signature: dec.Key.Sig, Reports: dec.Reports,
+	}
+	if !dec.Novel {
 		s.mu.Unlock()
-		return &SubmitResponse{Tenant: req.Tenant, Bug: req.Bug, Duplicate: true}, nil
+		s.metrics.add(func(m *Counters) { m.FoldedReports++ })
+		resp.Duplicate = true
+		return resp, nil
 	}
 	cs := &campaignState{state: StateRunning, done: make(chan struct{})}
-	t.campaigns[req.Bug] = cs
+	key := campaignKey(req.Bug, dec.Key.Sig)
+	t.campaigns[key] = cs
 	s.mu.Unlock()
+	s.metrics.add(func(m *Counters) { m.NovelSignatures++ })
 
-	s.logf("submit: tenant=%s bug=%s", req.Tenant, req.Bug)
+	s.logf("submit: tenant=%s bug=%s sig=%q", req.Tenant, req.Bug, dec.Key.Sig)
 	s.wg.Add(1)
-	go s.runCampaign(cs, req.Tenant, req.Bug, cfg)
-	return &SubmitResponse{Tenant: req.Tenant, Bug: req.Bug}, nil
+	go s.runCampaign(cs, req.Tenant, req.Bug, key, cfg, req.Report, req.DiscoveryRuns)
+	return resp, nil
 }
 
 func (s *Server) handleStatus(req *StatusRequest) (*StatusResponse, error) {
@@ -333,7 +402,7 @@ func (s *Server) handleStatus(req *StatusRequest) (*StatusResponse, error) {
 	if t == nil {
 		return &StatusResponse{State: StateUnknown}, nil
 	}
-	cs := t.campaigns[req.Bug]
+	cs := t.campaigns[campaignKey(req.Bug, req.Signature)]
 	if cs == nil {
 		return &StatusResponse{State: StateUnknown}, nil
 	}
@@ -349,17 +418,58 @@ func (s *Server) handleStatus(req *StatusRequest) (*StatusResponse, error) {
 }
 
 func (s *Server) handleSketch(req *SketchRequest) (*SketchResponse, error) {
+	key := campaignKey(req.Bug, req.Signature)
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	t := s.tenants[req.Tenant]
-	if t == nil {
+	var cs *campaignState
+	if t != nil {
+		cs = t.campaigns[key]
+	}
+	done := cs != nil && cs.state == StateDone
+	s.mu.Unlock()
+	if !done {
 		return &SketchResponse{}, nil
 	}
-	cs := t.campaigns[req.Bug]
-	if cs == nil || cs.state != StateDone {
-		return &SketchResponse{}, nil
+	ck := req.Tenant + "/" + key
+	if sketch := s.cache.Get(ck); sketch != nil {
+		return &SketchResponse{Ready: true, Sketch: sketch}, nil
 	}
-	return &SketchResponse{Ready: true, Sketch: cs.sketch}, nil
+	// Cache miss: the sketch was evicted (or the cache is tiny).
+	// Re-render it from the campaign's durable checkpoint — the
+	// supervisor saved the finished snapshot, so the bytes come back
+	// identical.
+	sketch, err := s.reloadSketch(req.Tenant, req.Bug, key)
+	if err != nil {
+		return nil, fmt.Errorf("sketch: reload %s/%s: %w", req.Tenant, key, err)
+	}
+	s.metrics.add(func(m *Counters) { m.SketchReloads++ })
+	s.cache.Put(ck, sketch)
+	return &SketchResponse{Ready: true, Sketch: sketch}, nil
+}
+
+// reloadSketch re-renders a finished campaign's sketch bytes from its
+// checkpoint store. Called outside the server mutex (store access may
+// touch disk).
+func (s *Server) reloadSketch(tenant, bug, key string) ([]byte, error) {
+	cfg, err := s.opts.ConfigFor(bug)
+	if err != nil {
+		return nil, err
+	}
+	ckpt, err := store.Open(
+		filepath.Join(s.opts.StateRoot, sanitizeLabel(tenant)), sanitizeLabel(key),
+		store.Options{Backend: s.opts.Backend, NoFsync: true, Telemetry: s.opts.Telemetry})
+	if err != nil {
+		return nil, err
+	}
+	latest := ckpt.Latest()
+	if latest == nil {
+		return nil, fmt.Errorf("no checkpoint generations")
+	}
+	snap, err := core.DecodeCampaignSnapshot(latest.Payload)
+	if err != nil {
+		return nil, err
+	}
+	return snap.RenderSketchJSON(cfg.Prog)
 }
 
 func (s *Server) handleRegister(req *RegisterRequest) (*RegisterResponse, error) {
@@ -463,8 +573,7 @@ func (s *Server) handleUpload(req *UploadRequest) (*UploadResponse, error) {
 	if !req.Crashed {
 		tk.trace = DecodeTrace(req.Trace)
 	}
-	tk.done = true
-	close(tk.doneCh)
+	s.markDone(tk)
 	s.metrics.add(func(m *Counters) { m.Uploads++ })
 	s.opts.Telemetry.AddL(tk.tenant+"/"+tk.bug, "service.uploads", 1)
 	return &UploadResponse{Accepted: true}, nil
@@ -472,10 +581,12 @@ func (s *Server) handleUpload(req *UploadRequest) (*UploadResponse, error) {
 
 // ---- campaign lifecycle ----------------------------------------------
 
-// runCampaign drives one (tenant, bug) diagnosis: discover the failure,
+// runCampaign drives one diagnosis stream: obtain the failure report
+// (from the submitted production report, or by server-side discovery),
 // build the campaign, route its fleet through the remote runner, and
-// supervise it to completion with per-tenant durable checkpoints.
-func (s *Server) runCampaign(cs *campaignState, tenant, bug string, cfg core.Config) {
+// supervise it to completion with per-tenant durable checkpoints. key
+// is the campaignKey the stream is registered under.
+func (s *Server) runCampaign(cs *campaignState, tenant, bug, key string, cfg core.Config, report *vm.FailureReport, discRuns int) {
 	defer s.wg.Done()
 	fail := func(err error) {
 		s.mu.Lock()
@@ -483,17 +594,22 @@ func (s *Server) runCampaign(cs *campaignState, tenant, bug string, cfg core.Con
 		cs.err = err
 		close(cs.done)
 		s.mu.Unlock()
-		s.logf("campaign failed: tenant=%s bug=%s: %v", tenant, bug, err)
+		s.logf("campaign failed: tenant=%s key=%s: %v", tenant, key, err)
 	}
-	cfg.Label = tenant + "/" + bug
+	cfg.Label = tenant + "/" + key
 	if cfg.Telemetry == nil {
 		cfg.Telemetry = s.opts.Telemetry
 	}
 
-	report, discRuns, err := core.FirstFailure(cfg)
-	if err != nil {
-		fail(fmt.Errorf("discovery: %w", err))
-		return
+	if report == nil {
+		// Discovery submit: find the failure server-side, exactly as
+		// core.Run would.
+		var err error
+		report, discRuns, err = core.FirstFailure(cfg)
+		if err != nil {
+			fail(fmt.Errorf("discovery: %w", err))
+			return
+		}
 	}
 	camp, err := core.NewCampaign(cfg, report, discRuns)
 	if err != nil {
@@ -504,7 +620,7 @@ func (s *Server) runCampaign(cs *campaignState, tenant, bug string, cfg core.Con
 	camp.UseRunner(runner)
 
 	ckpt, err := store.Open(
-		filepath.Join(s.opts.StateRoot, sanitizeLabel(tenant)), bug,
+		filepath.Join(s.opts.StateRoot, sanitizeLabel(tenant)), sanitizeLabel(key),
 		store.Options{
 			Backend:   s.opts.Backend,
 			NoFsync:   s.opts.NoFsync,
@@ -540,15 +656,17 @@ func (s *Server) runCampaign(cs *campaignState, tenant, bug string, cfg core.Con
 		fail(fmt.Errorf("marshal sketch: %w", err))
 		return
 	}
+	// Populate the cache before the campaign reads as done, so a fetch
+	// racing completion hits either the cache or the store — never a gap.
+	s.cache.Put(tenant+"/"+key, sketch)
 	s.mu.Lock()
 	cs.state = StateDone
-	cs.sketch = sketch
 	cs.lowConfidence = out.Result.Sketch.LowConfidence
 	cs.restarts = out.Restarts
 	close(cs.done)
 	s.mu.Unlock()
-	s.logf("campaign done: tenant=%s bug=%s low_confidence=%v restarts=%d",
-		tenant, bug, out.Result.Sketch.LowConfidence, out.Restarts)
+	s.logf("campaign done: tenant=%s key=%s low_confidence=%v restarts=%d",
+		tenant, key, out.Result.Sketch.LowConfidence, out.Restarts)
 }
 
 // ---- fleet plumbing ---------------------------------------------------
@@ -586,6 +704,19 @@ func (r *remoteRunner) RunBatch(plan *core.Plan, jobs []core.RunJob) []*core.Run
 		r.s.tasks[tk.id] = tk
 		tasks[i] = tk
 		r.s.dispatch(t, tk)
+	}
+	// A batch dispatched after Close swept the task table would block
+	// its campaign forever (Close only writes off tasks that exist at
+	// close time). Write such tasks off immediately so in-flight
+	// campaigns wind down instead of deadlocking Close's wg.Wait.
+	select {
+	case <-r.s.closed:
+		for _, tk := range tasks {
+			if !tk.done {
+				r.s.markLost(tk)
+			}
+		}
+	default:
 	}
 	r.s.mu.Unlock()
 
@@ -688,14 +819,46 @@ func (s *Server) lease(tk *task, agent string) {
 	tk.leaseUntil = time.Now().Add(s.opts.LeaseTTL)
 }
 
+// markDone completes a task exactly once: flips the idempotency flag,
+// stamps the completion time, wakes the batch waiter, and queues the
+// key for TTL/size-capped eviction. Caller holds mu.
+func (s *Server) markDone(tk *task) {
+	tk.done = true
+	tk.doneAt = time.Now()
+	close(tk.doneCh)
+	s.doneTasks = append(s.doneTasks, tk)
+}
+
 // markLost writes a task off: the campaign sees a nil trace, which its
 // Lost/retry/quorum machinery absorbs. Caller holds mu.
 func (s *Server) markLost(tk *task) {
 	tk.lost = true
-	tk.done = true
-	close(tk.doneCh)
+	s.markDone(tk)
 	s.metrics.add(func(m *Counters) { m.LostTasks++ })
 	s.opts.Telemetry.AddL(tk.tenant+"/"+tk.bug, "service.lost_tasks", 1)
+}
+
+// evictDoneTasks drops completed-task idempotency keys that are past
+// the retention TTL or over the size cap (FIFO by completion). Only
+// done tasks are ever in the queue, so a live task can never be evicted
+// and exactly-once admission is preserved: an upload for an evicted key
+// hits the unknown-task path, which acknowledges it as a duplicate
+// without admitting anything. Caller holds mu.
+func (s *Server) evictDoneTasks(now time.Time) {
+	cutoff := now.Add(-s.opts.DoneTaskTTL)
+	evicted := int64(0)
+	for len(s.doneTasks) > 0 {
+		tk := s.doneTasks[0]
+		if len(s.doneTasks) <= s.opts.MaxDoneTasks && !tk.doneAt.Before(cutoff) {
+			break
+		}
+		s.doneTasks = s.doneTasks[1:]
+		delete(s.tasks, tk.id)
+		evicted++
+	}
+	if evicted > 0 {
+		s.metrics.add(func(m *Counters) { m.EvictedTasks += evicted })
+	}
 }
 
 // reap is the lease reaper: expired leases send tasks back to the queue
@@ -743,6 +906,7 @@ func (s *Server) reap() {
 				s.markLost(tk)
 			}
 		}
+		s.evictDoneTasks(now)
 		s.mu.Unlock()
 	}
 }
@@ -790,6 +954,16 @@ type Counters struct {
 	DuplicateUploads int64
 	Reassigned       int64
 	LostTasks        int64
+	// NovelSignatures counts submits that launched a campaign;
+	// FoldedReports counts submits deduped into a live one.
+	NovelSignatures int64
+	FoldedReports   int64
+	// EvictedTasks counts completed-task idempotency keys dropped by
+	// TTL/size-capped eviction.
+	EvictedTasks int64
+	// SketchReloads counts sketch fetches re-rendered from the
+	// checkpoint store after LRU eviction.
+	SketchReloads int64
 }
 
 // RPCStat is the latency distribution of one wire path.
@@ -863,6 +1037,12 @@ func (s *Server) Snapshot() (Counters, []RPCStat) {
 	}
 	return counters, stats
 }
+
+// CacheStats returns the sketch cache's counters and occupancy.
+func (s *Server) CacheStats() ingest.CacheStats { return s.cache.Stats() }
+
+// IngestStats returns the streaming front-end's traffic counters.
+func (s *Server) IngestStats() ingest.Stats { return s.front.Stats() }
 
 // percentile reads the p-quantile from a sorted slice.
 func percentile(sorted []float64, p float64) float64 {

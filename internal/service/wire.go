@@ -78,25 +78,48 @@ func BodyChecksum(body []byte) string {
 	return strconv.FormatUint(uint64(crc32.Checksum(body, wireCastagnoli)), 10)
 }
 
-// SubmitRequest asks the server to diagnose one bug for one tenant.
-// Submission is idempotent on (Tenant, Bug): resubmitting an in-flight
-// or finished diagnosis acknowledges the existing campaign.
+// SubmitRequest asks the server to diagnose one failure for one tenant.
+// When Report is set the submit is a production failure report: the
+// server dedups on the report's failure signature (vm.FailureReport.ID),
+// so two distinct root causes filed under one bug name stay two
+// campaigns, and every recurrence of a known signature folds into the
+// live campaign as evidence instead of launching a duplicate. A nil
+// Report asks the server to discover the failure itself and dedups on
+// the bug name alone (the pre-ingest behavior).
 type SubmitRequest struct {
 	Tenant string `json:"tenant"`
 	Bug    string `json:"bug"`
+	// Report is the observed failure; nil means server-side discovery.
+	Report *vm.FailureReport `json:"report,omitempty"`
+	// Seed is the production run seed that produced Report (recorded as
+	// cluster evidence).
+	Seed int64 `json:"seed,omitempty"`
+	// DiscoveryRuns is how many runs the reporter needed to hit the
+	// failure — the campaign's run-budget accounting needs it to match a
+	// server-side discovery byte for byte.
+	DiscoveryRuns int `json:"discovery_runs,omitempty"`
 }
 
 // SubmitResponse acknowledges a submission.
 type SubmitResponse struct {
-	Tenant    string `json:"tenant"`
-	Bug       string `json:"bug"`
-	Duplicate bool   `json:"duplicate,omitempty"`
-}
-
-// StatusRequest asks for one campaign's state.
-type StatusRequest struct {
 	Tenant string `json:"tenant"`
 	Bug    string `json:"bug"`
+	// Signature is the failure signature the report was deduped on; ""
+	// for a discovery submit.
+	Signature string `json:"signature,omitempty"`
+	// Duplicate marks a report folded into an existing campaign.
+	Duplicate bool `json:"duplicate,omitempty"`
+	// Reports is the signature's recurrence count including this report.
+	Reports int `json:"reports,omitempty"`
+}
+
+// StatusRequest asks for one campaign's state. Signature selects among
+// campaigns filed under one bug name; "" addresses the discovery-submit
+// campaign.
+type StatusRequest struct {
+	Tenant    string `json:"tenant"`
+	Bug       string `json:"bug"`
+	Signature string `json:"signature,omitempty"`
 }
 
 // Campaign states reported by StatusResponse.
@@ -115,10 +138,12 @@ type StatusResponse struct {
 	Restarts      int    `json:"restarts,omitempty"`
 }
 
-// SketchRequest asks for a finished sketch.
+// SketchRequest asks for a finished sketch. Signature selects among
+// campaigns filed under one bug name, as in StatusRequest.
 type SketchRequest struct {
-	Tenant string `json:"tenant"`
-	Bug    string `json:"bug"`
+	Tenant    string `json:"tenant"`
+	Bug       string `json:"bug"`
+	Signature string `json:"signature,omitempty"`
 }
 
 // SketchResponse carries the finished sketch. Sketch holds the exact

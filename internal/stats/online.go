@@ -1,0 +1,104 @@
+package stats
+
+// Streaming contingency counters. The batch ranking pipeline
+// (core.RankPredictors) recomputes every predictor's contingency table
+// from the full failing/successful populations at the end of each
+// iteration; the streaming ingestion front-end instead folds each run
+// into per-predictor counters as it arrives. The two are provably
+// equal: precision, recall, and F-beta are pure functions of the three
+// integers (fail, succ, totalFail), and integer addition is
+// order-independent — so feeding runs one at a time and asking PRF at
+// any point yields exactly PrecisionRecallF over the counts so far.
+// stats_online_test.go pins the equivalence on random streams.
+
+// Contingency is one predictor's contingency counters, accumulated
+// incrementally. The zero value is an empty table.
+type Contingency struct {
+	// Fail counts failing runs in which the predictor held.
+	Fail int `json:"fail"`
+	// Succ counts successful runs in which the predictor held.
+	Succ int `json:"succ"`
+	// TotalFail counts failing runs observed in total, whether or not
+	// the predictor held in them.
+	TotalFail int `json:"total_fail"`
+}
+
+// Merge folds another table into this one (shard combination).
+func (c *Contingency) Merge(o Contingency) {
+	c.Fail += o.Fail
+	c.Succ += o.Succ
+	c.TotalFail += o.TotalFail
+}
+
+// PRF returns the table's precision, recall, and F-beta — exactly
+// PrecisionRecallF over the accumulated counts, including the
+// documented totalFail==0 edge (recall and F are 0 by convention).
+func (c Contingency) PRF(beta float64) (p, r, f float64) {
+	return PrecisionRecallF(c.Fail, c.Succ, c.TotalFail, beta)
+}
+
+// Online tracks streaming contingency counters for a population of
+// predictors identified by comparable keys. Each observed run
+// contributes to the global failing-run total and to the held counters
+// of every predictor that held in it — predictors first seen mid-stream
+// still get charged the full failing-run total, exactly as the batch
+// recomputation charges them len(failing).
+//
+// Not safe for concurrent use; callers serialize (the campaign admits
+// runs strictly in dispatch order already).
+type Online[K comparable] struct {
+	totalFail int
+	held      map[K]*heldCounts
+}
+
+type heldCounts struct {
+	fail, succ int
+}
+
+// NewOnline returns an empty streaming counter set.
+func NewOnline[K comparable]() *Online[K] {
+	return &Online[K]{held: make(map[K]*heldCounts)}
+}
+
+// Observe folds one run into the counters: failing says which
+// population the run belongs to, held lists the predictors that held in
+// it. Keys must be distinct within one call (predicate extraction
+// returns a set); repeating a key would double-count the run.
+func (o *Online[K]) Observe(failing bool, held []K) {
+	if failing {
+		o.totalFail++
+	}
+	for _, k := range held {
+		h := o.held[k]
+		if h == nil {
+			h = &heldCounts{}
+			o.held[k] = h
+		}
+		if failing {
+			h.fail++
+		} else {
+			h.succ++
+		}
+	}
+}
+
+// TotalFail returns the failing runs observed so far.
+func (o *Online[K]) TotalFail() int { return o.totalFail }
+
+// Len returns how many distinct predictors have held at least once.
+func (o *Online[K]) Len() int { return len(o.held) }
+
+// Counts returns predictor k's contingency table as of now. A key that
+// never held reads as an empty table charged the full failing total.
+func (o *Online[K]) Counts(k K) Contingency {
+	c := Contingency{TotalFail: o.totalFail}
+	if h := o.held[k]; h != nil {
+		c.Fail, c.Succ = h.fail, h.succ
+	}
+	return c
+}
+
+// PRF returns predictor k's precision, recall, and F-beta as of now.
+func (o *Online[K]) PRF(k K, beta float64) (p, r, f float64) {
+	return o.Counts(k).PRF(beta)
+}

@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestOnlineMatchesBatch is the property test behind the streaming
+// ingestion front-end: for random report streams, incrementally updated
+// contingency counters must match the end-of-stream batch recomputation
+// exactly — same integers in, same floats out, at every prefix of the
+// stream, for every predictor, including ones that first hold
+// mid-stream and the documented totalFail==0 edge.
+func TestOnlineMatchesBatch(t *testing.T) {
+	const universe = 12 // predictor keys 0..11
+	for trial := 0; trial < 200; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		o := NewOnline[int]()
+
+		// Batch ground truth, recomputed from scratch after every event.
+		batchFail := make(map[int]int)
+		batchSucc := make(map[int]int)
+		totalFail := 0
+
+		// Trial 0 never fails: the totalFail==0 edge must hold at every
+		// prefix, not just the empty stream.
+		events := 1 + rng.Intn(40)
+		for e := 0; e < events; e++ {
+			failing := trial != 0 && rng.Intn(2) == 0
+			var held []int
+			for k := 0; k < universe; k++ {
+				if rng.Intn(3) == 0 {
+					held = append(held, k)
+				}
+			}
+			o.Observe(failing, held)
+			if failing {
+				totalFail++
+			}
+			for _, k := range held {
+				if failing {
+					batchFail[k]++
+				} else {
+					batchSucc[k]++
+				}
+			}
+
+			if o.TotalFail() != totalFail {
+				t.Fatalf("trial %d event %d: TotalFail = %d, batch says %d", trial, e, o.TotalFail(), totalFail)
+			}
+			for k := 0; k < universe; k++ {
+				c := o.Counts(k)
+				if c.Fail != batchFail[k] || c.Succ != batchSucc[k] || c.TotalFail != totalFail {
+					t.Fatalf("trial %d event %d key %d: counts %+v, batch (%d,%d,%d)",
+						trial, e, k, c, batchFail[k], batchSucc[k], totalFail)
+				}
+				for _, beta := range []float64{0.5, 1, 2} {
+					p1, r1, f1 := o.PRF(k, beta)
+					p2, r2, f2 := PrecisionRecallF(batchFail[k], batchSucc[k], totalFail, beta)
+					if p1 != p2 || r1 != r2 || f1 != f2 {
+						t.Fatalf("trial %d event %d key %d beta %g: online (%g,%g,%g), batch (%g,%g,%g)",
+							trial, e, k, beta, p1, r1, f1, p2, r2, f2)
+					}
+					if totalFail == 0 && (r1 != 0 || f1 != 0) {
+						t.Fatalf("trial %d event %d key %d: totalFail==0 must pin recall and F to 0, got r=%g f=%g", trial, e, k, r1, f1)
+					}
+					if math.IsNaN(p1) || math.IsNaN(r1) || math.IsNaN(f1) {
+						t.Fatalf("trial %d event %d key %d: NaN from PRF", trial, e, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestContingencyMerge pins that sharded accumulation combines by plain
+// addition: observing a stream in two halves and merging equals
+// observing it whole.
+func TestContingencyMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var whole, a, b Contingency
+	for e := 0; e < 100; e++ {
+		failing := rng.Intn(2) == 0
+		held := rng.Intn(2) == 0
+		obs := func(c *Contingency) {
+			if failing {
+				c.TotalFail++
+			}
+			if held {
+				if failing {
+					c.Fail++
+				} else {
+					c.Succ++
+				}
+			}
+		}
+		obs(&whole)
+		if e%2 == 0 {
+			obs(&a)
+		} else {
+			obs(&b)
+		}
+	}
+	a.Merge(b)
+	if a != whole {
+		t.Fatalf("merged shards %+v differ from whole-stream counts %+v", a, whole)
+	}
+	p1, r1, f1 := a.PRF(0.5)
+	p2, r2, f2 := whole.PRF(0.5)
+	if p1 != p2 || r1 != r2 || f1 != f2 {
+		t.Fatalf("merged PRF (%g,%g,%g) differs from whole-stream PRF (%g,%g,%g)", p1, r1, f1, p2, r2, f2)
+	}
+}
