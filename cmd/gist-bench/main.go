@@ -22,17 +22,17 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, sketches, fig9, fig10, fig11, fig12, fig13, breakdown, swpt, extpt, chaos, perf, sched, crashloop, service, vm, ingest, all")
+		exp      = flag.String("exp", "all", "experiment: table1, sketches, fig9, fig10, fig11, fig12, fig13, breakdown, swpt, extpt, chaos, perf, sched, shard, crashloop, service, vm, ingest, all")
 		bugList  = flag.String("bugs", "", "comma-separated bug subset (default: all 12)")
 		runs     = flag.Int("runs", 0, "runs per measurement point (0 = experiment default)")
 		workers  = flag.Int("workers", 0, "fan-out width for suite sweeps and the fleet inside each diagnosis (0 = GOMAXPROCS); results are byte-identical for any value")
-		jsonPath = flag.String("json", "", "with -exp perf, sched, crashloop, service, vm, or ingest: write the results to this JSON file (e.g. BENCH_fleet.json)")
+		jsonPath = flag.String("json", "", "with -exp perf, sched, shard, crashloop, service, vm, or ingest: write the results to this JSON file (e.g. BENCH_fleet.json)")
 		agents   = flag.Int("agents", 1000, "with -exp service: total simulated agent count across all tenants")
 		dedup    = flag.Int("dedup", 20, "with -exp ingest: reports submitted per distinct failure signature (the dedup ratio; min 10)")
 
 		traceOut    = flag.String("trace-out", "", "write a JSONL phase-span event log to this file")
 		metricsJSON = flag.String("metrics-json", "", "write a metrics snapshot to this file on exit")
-		validate    = flag.String("validate", "", "validate an existing BENCH JSON file (perf, sched, crashloop, service, vm, or ingest) against the observability schema, then exit")
+		validate    = flag.String("validate", "", "validate an existing BENCH JSON file (perf, sched, shard, crashloop, service, vm, or ingest) against the observability schema, then exit")
 	)
 	flag.Parse()
 
@@ -244,6 +244,22 @@ func main() {
 		}
 		fmt.Print(experiments.RenderSched(res))
 		writeBench("sched", res.WriteJSON)
+	}
+	if *exp == "shard" {
+		fmt.Printf("==== shard ====\n\n")
+		procs := []int{1, 2, 4}
+		if *workers == 1 {
+			procs = []int{1}
+		} else if *workers > 0 {
+			procs = []int{1, *workers}
+		}
+		res, err := experiments.Shard(suite, procs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gist-bench: shard: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(experiments.RenderShard(res))
+		writeBench("shard", res.WriteJSON)
 	}
 	if *exp == "crashloop" {
 		fmt.Printf("==== crashloop ====\n\n")

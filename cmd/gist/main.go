@@ -30,6 +30,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/service"
 	"repro/internal/service/agent"
+	"repro/internal/shard"
 	"repro/internal/store"
 	"repro/internal/supervise"
 	"repro/internal/telemetry"
@@ -67,10 +68,15 @@ func main() {
 		lease       = flag.Duration("lease", 10*time.Second, "with -serve: task lease TTL before a silent agent's work is reassigned")
 		pollTimeout = flag.Duration("poll-timeout", 5*time.Second, "with -serve: cap on how long an agent long-poll is held open")
 
+		coordMode = flag.Bool("coordinator", false, "with -serve: run coordinator-only — place campaigns on the shard worker fleet sharing -state-dir instead of diagnosing in-process")
+		shards    = flag.Int("shards", 1, "shard fleet size (with -serve -coordinator, or -worker)")
+		workerID  = flag.Int("worker-id", 0, "with -worker: this worker's 1-based id in 1..-shards")
+
 		ingestCacheBytes = flag.Int64("ingest-cache-bytes", 0, "with -serve: sketch LRU cache budget in bytes (0 = default 8 MiB); evicted sketches re-render from the checkpoint store on demand")
 		ingestTaskTTL    = flag.Duration("ingest-task-ttl", 0, "with -serve: how long completed-task idempotency keys are retained for duplicate-upload detection (0 = default 4x lease)")
 		ingestTaskCap    = flag.Int("ingest-task-cap", 0, "with -serve: max completed-task idempotency keys retained (0 = default 65536); live tasks are never evicted")
 
+		workerMode  = flag.Bool("worker", false, "run as a shard fleet worker: claim campaigns assigned under the shared -state-dir, drive them to completion, publish sketches")
 		agentMode   = flag.Bool("agent", false, "run as an endpoint agent: long-poll -server for tracking tasks, execute runs, upload traces")
 		serverURL   = flag.String("server", "", "with -agent or -submit: diagnosis server base URL, e.g. http://127.0.0.1:8443")
 		tenant      = flag.String("tenant", "default", "tenant label (serve/agent/submit modes)")
@@ -123,13 +129,16 @@ func main() {
 	// the flag) and runs to completion without touching the in-process
 	// diagnosis path below.
 	modes := 0
-	for _, on := range []bool{*serveMode, *agentMode, *submitMode} {
+	for _, on := range []bool{*serveMode, *agentMode, *submitMode, *workerMode} {
 		if on {
 			modes++
 		}
 	}
 	if modes > 1 {
-		fatalf("-serve, -agent, and -submit are mutually exclusive")
+		fatalf("-serve, -agent, -submit, and -worker are mutually exclusive")
+	}
+	if *coordMode && !*serveMode {
+		fatalf("-coordinator requires -serve")
 	}
 	if *serveMode {
 		sf := service.ServeFlags{
@@ -145,7 +154,29 @@ func main() {
 		if err := sf.Validate(); err != nil {
 			fatalf("%v", err)
 		}
-		runServe(sf, *ckptFsync)
+		var fleet *shard.Flags
+		if *coordMode {
+			wf := shard.Flags{Shards: *shards, StateDir: *stateDir, Lease: *lease}
+			if err := wf.Validate(); err != nil {
+				fatalf("%v", err)
+			}
+			fleet = &wf
+		}
+		runServe(sf, fleet, *ckptFsync, fatalf)
+		return
+	}
+	if *workerMode {
+		wf := shard.Flags{
+			Shards:   *shards,
+			WorkerID: *workerID,
+			Worker:   true,
+			StateDir: *stateDir,
+			Lease:    *lease,
+		}
+		if err := wf.Validate(); err != nil {
+			fatalf("%v", err)
+		}
+		runWorker(wf, *workers, *ckptFsync, *iterDelay, fatalf)
 		return
 	}
 	if *agentMode {
@@ -317,8 +348,8 @@ func main() {
 // land on the real filesystem under -state-dir (one subdirectory per
 // tenant), so a restarted server resumes in-flight campaigns from their
 // last durable generation.
-func runServe(f service.ServeFlags, fsync bool) {
-	srv := service.NewServer(service.Options{
+func runServe(f service.ServeFlags, fleet *shard.Flags, fsync bool, fatalf func(string, ...any)) {
+	opts := service.Options{
 		Backend:          store.DirBackend{},
 		StateRoot:        f.StateDir,
 		LeaseTTL:         f.Lease,
@@ -330,7 +361,15 @@ func runServe(f service.ServeFlags, fsync bool) {
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "gist: serve: "+format+"\n", args...)
 		},
-	})
+	}
+	if fleet != nil {
+		coord, err := shard.NewCoordinator(store.DirBackend{}, fleet.StateDir, fleet.Shards, !fsync)
+		if err != nil {
+			fatalf("-coordinator: %v", err)
+		}
+		opts.Placer = coord
+	}
+	srv := service.NewServer(opts)
 	ln, err := net.Listen("tcp", f.Listen)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gist: -listen: %v\n", err)
@@ -343,6 +382,9 @@ func runServe(f service.ServeFlags, fsync bool) {
 		<-sigCh
 		hs.Close()
 	}()
+	if fleet != nil {
+		fmt.Fprintf(os.Stderr, "gist: coordinating %d shards over %s\n", fleet.Shards, fleet.StateDir)
+	}
 	fmt.Fprintf(os.Stderr, "gist: serving on %s (state in %s, lease %v)\n", ln.Addr(), f.StateDir, f.Lease)
 	err = hs.Serve(ln)
 	srv.Close()
@@ -350,6 +392,41 @@ func runServe(f service.ServeFlags, fsync bool) {
 		fmt.Fprintf(os.Stderr, "gist: serve: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// runWorker drives one shard fleet worker until SIGINT/SIGTERM. The
+// worker shares -state-dir with the coordinator and its sibling
+// workers; a SIGKILLed worker's campaigns are taken over by survivors
+// from the last durable checkpoint generation, byte-identically.
+func runWorker(f shard.Flags, width int, fsync bool, iterDelay time.Duration, fatalf func(string, ...any)) {
+	w, err := shard.NewWorker(shard.WorkerOptions{
+		Backend:    store.DirBackend{},
+		Root:       f.StateDir,
+		ID:         fmt.Sprintf("w%d", f.WorkerID),
+		Index:      f.WorkerID - 1,
+		Shards:     f.Shards,
+		LeaseTTL:   f.Lease,
+		Width:      width,
+		NoFsync:    !fsync,
+		RoundDelay: iterDelay,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "gist: worker: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fatalf("-worker: %v", err)
+	}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	fmt.Fprintf(os.Stderr, "gist: worker w%d of %d shard(s) over %s (lease %v)\n",
+		f.WorkerID, f.Shards, f.StateDir, f.Lease)
+	if err := w.Run(ctx, 0); err != nil && ctx.Err() == nil {
+		fmt.Fprintf(os.Stderr, "gist: worker: %v\n", err)
+		os.Exit(1)
+	}
+	st := w.Stats()
+	fmt.Fprintf(os.Stderr, "gist: worker w%d: %d campaign(s) (%d finished, %d resumed, %d takeovers, %d lost leases), %d runs\n",
+		f.WorkerID, st.Campaigns, st.Finished, st.Resumed, st.Takeovers, st.LostLeases, st.Runs)
 }
 
 // runAgent serves tasks until SIGINT/SIGTERM.

@@ -254,6 +254,8 @@ func ValidateBenchJSON(data []byte) error {
 		return validatePerfJSON(data)
 	case "sched":
 		return ValidateSchedJSON(data)
+	case "shard":
+		return ValidateShardJSON(data)
 	case "crashloop":
 		return ValidateCrashloopJSON(data)
 	case "service":
@@ -263,7 +265,7 @@ func ValidateBenchJSON(data []byte) error {
 	case "ingest":
 		return ValidateIngestJSON(data)
 	default:
-		return fmt.Errorf("bench json: unknown experiment %q (want perf, sched, crashloop, service, vm, or ingest)", probe.Experiment)
+		return fmt.Errorf("bench json: unknown experiment %q (want perf, sched, shard, crashloop, service, vm, or ingest)", probe.Experiment)
 	}
 }
 

@@ -1,0 +1,104 @@
+package sched_test
+
+import (
+	"testing"
+
+	"repro/internal/bugs"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/sched"
+)
+
+// TestRetireAndReplaceAcrossSchedulers is the rebalancing contract the
+// shard layer is built on: a campaign stepped partway on scheduler A
+// (worker A's fleet pool), retired mid-diagnosis, and resumed on
+// scheduler B from the snapshot at the retirement boundary must finish
+// with a transcript byte-identical to the undisturbed serial run — the
+// boundary checkpoint carries everything, and Retire/Replace never leak
+// state between hosts.
+func TestRetireAndReplaceAcrossSchedulers(t *testing.T) {
+	for _, name := range schedBugs {
+		b := bugs.ByName(name)
+		if b == nil {
+			t.Fatalf("unknown bug %q", name)
+		}
+		cfg := b.GistConfig()
+		cfg.Label = b.Name
+		cfg.StopWhen = experiments.DeveloperOracle(b)
+		report, disc, err := core.FirstFailure(cfg)
+		if err != nil {
+			t.Fatalf("%s: discovery: %v", name, err)
+		}
+		serial := fingerprint(core.RunFromReport(cfg, report, disc))
+		camp, err := core.NewCampaign(cfg, report, disc)
+		if err != nil {
+			t.Fatalf("%s: NewCampaign: %v", name, err)
+		}
+
+		a := sched.New(1)
+		a.Add(camp)
+		// Step on A until the campaign is mid-flight (a few iteration
+		// boundaries in, not finished).
+		for r := 0; r < 3 && !camp.Finished(); r++ {
+			if a.RunRound() == 0 {
+				break
+			}
+		}
+		snap, err := camp.Snapshot()
+		if err != nil {
+			t.Fatalf("%s: snapshot at retirement boundary: %v", name, err)
+		}
+		data, err := snap.Encode()
+		if err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		// Retire on A: A's slot steps no more, even if A keeps running.
+		a.Retire(0)
+		if !a.Retired(0) {
+			t.Fatalf("%s: slot not marked retired", name)
+		}
+		if a.RunRound() != 0 {
+			t.Fatalf("%s: retired slot still stepped", name)
+		}
+
+		// Resume on B from the durable snapshot, exactly as the new
+		// owner's process would after a handoff.
+		decoded, err := core.DecodeCampaignSnapshot(data)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		resumed, err := core.RestoreCampaign(cfg, decoded)
+		if err != nil {
+			t.Fatalf("%s: restore: %v", name, err)
+		}
+		sb := sched.New(1)
+		sb.Add(resumed)
+		outs := sb.Run()
+		if got := fingerprint(outs[0].Result, outs[0].Err); got != serial {
+			t.Errorf("%s: handed-off diagnosis diverged from serial baseline:\n--- handed off ---\n%s\n--- serial ---\n%s",
+				name, got, serial)
+		}
+	}
+}
+
+// TestReplaceSwapsTheSlotCampaign pins Replace itself: after Replace,
+// the slot steps the replacement campaign and the original is never
+// stepped again.
+func TestReplaceSwapsTheSlotCampaign(t *testing.T) {
+	makes, serial := prepareTenants(t)
+	s := sched.New(1)
+	orig := makes[0]()
+	s.Add(orig)
+	replacement := makes[0]()
+	s.Replace(0, replacement)
+	if s.Campaign(0) != replacement {
+		t.Fatalf("Replace did not swap the slot's campaign")
+	}
+	outs := s.Run()
+	if got := fingerprint(outs[0].Result, outs[0].Err); got != serial[0] {
+		t.Errorf("replacement campaign diverged from serial baseline")
+	}
+	if orig.Finished() {
+		t.Errorf("original campaign was stepped after Replace")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/ingest"
+	"repro/internal/shard"
 	"repro/internal/store"
 	"repro/internal/supervise"
 	"repro/internal/telemetry"
@@ -67,6 +68,15 @@ type Options struct {
 	// MaxSeedsPerSignature bounds each failure signature's recorded seed
 	// evidence (0 = 16, as in core.ClusterConfig).
 	MaxSeedsPerSignature int
+	// Placer, when non-nil, runs the server coordinator-only: submits
+	// are placed on the shard fleet instead of diagnosed in-process, and
+	// worker processes own the campaigns. Backend and StateRoot are
+	// derived from the placer (the fleet's shared root) so the sketch
+	// fetch path reads the workers' checkpoint stores unchanged.
+	Placer *shard.Coordinator
+	// PlacePoll is how often a coordinator-mode campaign polls the fleet
+	// for its done record (default 150ms).
+	PlacePoll time.Duration
 	// ConfigFor maps a bug name to its campaign configuration; nil
 	// means the registered bug suite's GistConfig.
 	ConfigFor func(bug string) (core.Config, error)
@@ -77,6 +87,15 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
+	if o.Placer != nil {
+		// Coordinator mode: the fleet's shared medium is the server's
+		// medium, so reloadSketch finds worker-written checkpoints.
+		o.Backend = o.Placer.Backend()
+		o.StateRoot = o.Placer.CheckpointRoot()
+	}
+	if o.PlacePoll <= 0 {
+		o.PlacePoll = 150 * time.Millisecond
+	}
 	if o.Backend == nil {
 		o.Backend = store.NewMemBackend()
 	}
@@ -391,8 +410,64 @@ func (s *Server) handleSubmit(req *SubmitRequest) (*SubmitResponse, error) {
 
 	s.logf("submit: tenant=%s bug=%s sig=%q", req.Tenant, req.Bug, dec.Key.Sig)
 	s.wg.Add(1)
-	go s.runCampaign(cs, req.Tenant, req.Bug, key, cfg, req.Report, req.DiscoveryRuns)
+	if s.opts.Placer != nil {
+		go s.placeCampaign(cs, req.Tenant, req.Bug, key, dec.Key.Sig, req.Report, req.DiscoveryRuns)
+	} else {
+		go s.runCampaign(cs, req.Tenant, req.Bug, key, cfg, req.Report, req.DiscoveryRuns)
+	}
 	return resp, nil
+}
+
+// placeCampaign is runCampaign's coordinator-mode counterpart: publish
+// the assignment to the shard fleet, then poll for the done record a
+// worker publishes. The worker checkpoints under the server's StateRoot
+// with the same layout runCampaign uses, so sketch fetch and reload are
+// oblivious to which process diagnosed the bug.
+func (s *Server) placeCampaign(cs *campaignState, tenant, bug, key, sig string, report *vm.FailureReport, discRuns int) {
+	defer s.wg.Done()
+	fail := func(err error) {
+		s.mu.Lock()
+		cs.state = StateFailed
+		cs.err = err
+		close(cs.done)
+		s.mu.Unlock()
+		s.logf("campaign failed: tenant=%s key=%s: %v", tenant, key, err)
+	}
+	if _, err := s.opts.Placer.Assign(shard.Assignment{
+		Tenant: tenant, Bug: bug, Key: key, Signature: sig,
+		Report: report, DiscoveryRuns: discRuns,
+	}); err != nil {
+		fail(fmt.Errorf("place: %w", err))
+		return
+	}
+	tick := time.NewTicker(s.opts.PlacePoll)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.closed:
+			fail(fmt.Errorf("server closed while campaign was on the fleet"))
+			return
+		case <-tick.C:
+		}
+		rec, err := s.opts.Placer.Done(tenant, key)
+		if err != nil || rec == nil {
+			continue
+		}
+		if rec.Err != "" {
+			fail(fmt.Errorf("worker %s: %s", rec.Worker, rec.Err))
+			return
+		}
+		s.cache.Put(tenant+"/"+key, rec.Sketch)
+		s.mu.Lock()
+		cs.state = StateDone
+		cs.lowConfidence = rec.LowConfidence
+		cs.restarts = rec.Restarts
+		close(cs.done)
+		s.mu.Unlock()
+		s.logf("campaign done (fleet): tenant=%s key=%s worker=%s low_confidence=%v restarts=%d",
+			tenant, key, rec.Worker, rec.LowConfidence, rec.Restarts)
+		return
+	}
 }
 
 func (s *Server) handleStatus(req *StatusRequest) (*StatusResponse, error) {

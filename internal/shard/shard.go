@@ -1,0 +1,118 @@
+// Package shard scales campaign ownership across worker processes.
+//
+// The paper's deployment is one Gist server driving the whole endpoint
+// fleet; this layer makes campaign *placement* explicit so the control
+// plane can go horizontal. A coordinator assigns each campaign — one
+// (tenant, bug, signature) diagnosis stream — to a shard by FNV hash,
+// and worker processes claim ownership of assigned campaigns through
+// lease records. The only medium shared between processes is a
+// store.Backend: a DirBackend on a shared directory in production, a
+// MemBackend in tests. Everything a worker needs to drive a campaign —
+// the assignment record, the lease table, the generation-numbered
+// checkpoint store, the finished-sketch record — lives under one root
+// on that backend:
+//
+//	<root>/assign/  one record per placed campaign
+//	<root>/lease/   ownership claims (see lease.go)
+//	<root>/state/   per-tenant checkpoint stores (internal/store)
+//	<root>/done/    finished diagnoses (sketch bytes + outcome)
+//
+// The safety invariant is the one every layer of this repo pins: a
+// diagnosis is a pure function of its configuration and seed cursor, so
+// a campaign resumed by another worker from the last durable checkpoint
+// generation — or even briefly double-driven during a lease handoff —
+// produces sketches byte-identical to the undisturbed single-process
+// run.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// Place maps a campaign identity to a shard index in [0, shards). The
+// hash is FNV-64a over the NUL-joined identity, so placement is stable
+// across processes, restarts, and Go versions.
+func Place(tenant, bug, sig string, shards int) int {
+	h := fnv.New64a()
+	h.Write([]byte(tenant))
+	h.Write([]byte{0})
+	h.Write([]byte(bug))
+	h.Write([]byte{0})
+	h.Write([]byte(sig))
+	return int(h.Sum64() % uint64(shards))
+}
+
+// Layout helpers: every process derives the same paths from the root.
+
+// AssignDir is where the coordinator's placement records live.
+func AssignDir(root string) string { return filepath.Join(root, "assign") }
+
+// LeaseDir is where workers' ownership claims live.
+func LeaseDir(root string) string { return filepath.Join(root, "lease") }
+
+// DoneDir is where finished diagnoses land.
+func DoneDir(root string) string { return filepath.Join(root, "done") }
+
+// StateRoot is the checkpoint-store root workers open per-tenant stores
+// under — the same layout internal/service uses, so a server on the
+// same backend serves fleet-produced sketches with its existing reload
+// path.
+func StateRoot(root string) string { return filepath.Join(root, "state") }
+
+// Sanitize maps a tenant or campaign label to a safe path segment,
+// byte-compatible with the service's state layout.
+func Sanitize(label string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		}
+		return '_'
+	}, label)
+}
+
+// CampaignName is the fleet-wide file-safe name of one campaign: the
+// sanitized tenant and campaign key joined so assignment, lease, and
+// done records for the same diagnosis always collide on the same name.
+func CampaignName(tenant, key string) string {
+	return Sanitize(tenant) + "__" + Sanitize(key)
+}
+
+// Flags is the CLI-facing shard fleet configuration (-coordinator and
+// -worker modes), validated before any work starts. Field names mirror
+// the gist flags that populate them; every validation error names the
+// offending flag so the CLI convention (exit 2, flag named) holds.
+type Flags struct {
+	Shards   int           // -shards
+	WorkerID int           // -worker-id (1-based; worker mode only)
+	Worker   bool          // -worker (as opposed to -coordinator)
+	StateDir string        // -state-dir (the shared fleet root)
+	Lease    time.Duration // -lease (ownership lease TTL)
+}
+
+// Validate rejects nonsensical fleet flags, naming the flag at fault.
+func (f Flags) Validate() error {
+	if f.Shards <= 0 {
+		return fmt.Errorf("-shards %d must be positive", f.Shards)
+	}
+	if f.Worker {
+		if f.WorkerID <= 0 {
+			return fmt.Errorf("-worker-id %d must be positive (workers are numbered 1..-shards)", f.WorkerID)
+		}
+		if f.WorkerID > f.Shards {
+			return fmt.Errorf("-worker-id %d out of range: -shards is %d", f.WorkerID, f.Shards)
+		}
+	}
+	if f.StateDir == "" {
+		return fmt.Errorf("-state-dir must not be empty (it is the fleet's shared root)")
+	}
+	if f.Lease <= 0 {
+		return fmt.Errorf("-lease %v must be positive", f.Lease)
+	}
+	return nil
+}

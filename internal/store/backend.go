@@ -18,7 +18,9 @@ type Backend interface {
 	// EnsureDir creates dir (and parents) if needed.
 	EnsureDir(dir string) error
 	// ListFiles returns the names (not paths) of the regular files in
-	// dir, in any order. A missing dir is an error.
+	// dir, sorted lexically; directories are excluded. A missing dir is
+	// an error. (The shard fleet's workers walk shared directories, so
+	// implementations must agree on the order.)
 	ListFiles(dir string) ([]string, error)
 	// ReadFile returns the contents of path.
 	ReadFile(path string) ([]byte, error)

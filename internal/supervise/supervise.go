@@ -104,6 +104,10 @@ type Outcome struct {
 	// Drained marks a campaign checkpointed and suspended by a drain
 	// request; its Err is the campaign's not-finished error.
 	Drained bool
+	// Released marks a campaign retired by RetireSlot because its
+	// ownership moved to another process; the last durable checkpoint
+	// generation is where the new owner resumes.
+	Released bool
 }
 
 // tenant is the supervisor's per-slot bookkeeping.
@@ -122,6 +126,7 @@ type tenant struct {
 	checkpoints   int
 	breaker       bool
 	drained       bool
+	released      bool
 	dead          bool // could not restore; Err carries the reason
 	deadErr       error
 }
@@ -165,6 +170,68 @@ func (s *Supervisor) Add(cfg core.Config, c *core.Campaign, ckpt *store.Store) (
 	s.tenants = append(s.tenants, t)
 	s.save(t, snap)
 	return slot, nil
+}
+
+// Adopt enrolls a campaign previously owned by another process — the
+// dead-process analogue of the in-process restart path. It restores the
+// newest checkpoint generation whose payload decodes, discarding
+// unreadable generations one by one (exactly the newest-valid-wins rule
+// the CLI's -resume applies), and falls back to fresh when no
+// generation survives — the campaign had not reached its first durable
+// boundary, so building it from scratch is byte-identical to resuming.
+// It reports the slot and whether a checkpoint was resumed.
+func (s *Supervisor) Adopt(cfg core.Config, ckpt *store.Store, fresh func() (*core.Campaign, error)) (int, bool, error) {
+	if ckpt != nil {
+		for {
+			latest := ckpt.Latest()
+			if latest == nil {
+				break
+			}
+			snap, err := core.DecodeCampaignSnapshot(latest.Payload)
+			if err != nil {
+				ckpt.Discard(fmt.Errorf("supervise: adopt: undecodable snapshot: %w", err))
+				continue
+			}
+			c, err := core.RestoreCampaign(cfg, snap)
+			if err != nil {
+				ckpt.Discard(fmt.Errorf("supervise: adopt: unrestorable snapshot: %w", err))
+				continue
+			}
+			if s.cfg.OnRestore != nil {
+				s.cfg.OnRestore(c)
+			}
+			slot, err := s.Add(cfg, c, ckpt)
+			if err != nil {
+				return 0, false, err
+			}
+			s.count("supervise.adopted", s.tenants[slot], 1)
+			return slot, true, nil
+		}
+	}
+	c, err := fresh()
+	if err != nil {
+		return 0, false, err
+	}
+	slot, err := s.Add(cfg, c, ckpt)
+	return slot, false, err
+}
+
+// RunRound drives one scheduler round: every live campaign is stepped
+// once under the supervision guards. It returns how many campaigns were
+// live; 0 means every enrolled campaign is finished or retired. Callers
+// that interleave supervision with other per-round work (the shard
+// worker renews leases between rounds) drive this instead of Run.
+func (s *Supervisor) RunRound() int { return s.sched.RunRound() }
+
+// RetireSlot permanently excludes a slot from future rounds without
+// tripping the breaker: campaign ownership moved to another process,
+// which resumes from the last durable checkpoint generation. The
+// outcome is marked Released.
+func (s *Supervisor) RetireSlot(slot int) {
+	t := s.tenants[slot]
+	t.released = true
+	s.sched.Retire(slot)
+	s.count("supervise.released", t, 1)
 }
 
 // SetStepFault installs a fault script for one slot: fn is consulted
@@ -226,6 +293,7 @@ func (s *Supervisor) Outcomes() []Outcome {
 			Checkpoints:    t.checkpoints,
 			BreakerTripped: t.breaker,
 			Drained:        t.drained,
+			Released:       t.released,
 		}
 		if t.dead {
 			outs[i].Result, outs[i].Err = nil, t.deadErr
