@@ -22,17 +22,17 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, sketches, fig9, fig10, fig11, fig12, fig13, breakdown, swpt, extpt, chaos, perf, sched, shard, crashloop, service, vm, ingest, all")
+		exp      = flag.String("exp", "all", "experiment: table1, sketches, fig9, fig10, fig11, fig12, fig13, breakdown, swpt, extpt, chaos, perf, sched, shard, crashloop, service, vm, ingest, overload, all")
 		bugList  = flag.String("bugs", "", "comma-separated bug subset (default: all 12)")
 		runs     = flag.Int("runs", 0, "runs per measurement point (0 = experiment default)")
 		workers  = flag.Int("workers", 0, "fan-out width for suite sweeps and the fleet inside each diagnosis (0 = GOMAXPROCS); results are byte-identical for any value")
-		jsonPath = flag.String("json", "", "with -exp perf, sched, shard, crashloop, service, vm, or ingest: write the results to this JSON file (e.g. BENCH_fleet.json)")
+		jsonPath = flag.String("json", "", "with -exp perf, sched, shard, crashloop, service, vm, ingest, or overload: write the results to this JSON file (e.g. BENCH_fleet.json)")
 		agents   = flag.Int("agents", 1000, "with -exp service: total simulated agent count across all tenants")
 		dedup    = flag.Int("dedup", 20, "with -exp ingest: reports submitted per distinct failure signature (the dedup ratio; min 10)")
 
 		traceOut    = flag.String("trace-out", "", "write a JSONL phase-span event log to this file")
 		metricsJSON = flag.String("metrics-json", "", "write a metrics snapshot to this file on exit")
-		validate    = flag.String("validate", "", "validate an existing BENCH JSON file (perf, sched, shard, crashloop, service, vm, or ingest) against the observability schema, then exit")
+		validate    = flag.String("validate", "", "validate an existing BENCH JSON file (perf, sched, shard, crashloop, service, vm, ingest, or overload) against the observability schema, then exit")
 	)
 	flag.Parse()
 
@@ -325,5 +325,21 @@ func main() {
 		}
 		fmt.Print(experiments.RenderService(res))
 		writeBench("service", res.WriteJSON)
+	}
+	if *exp == "overload" {
+		fmt.Printf("==== overload ====\n\n")
+		// One cheap-to-diagnose bug keeps the experiment about admission
+		// control, not the diagnosis; -bugs overrides.
+		opts := experiments.OverloadOptions{}
+		if *bugList != "" {
+			opts.Bug = strings.Split(*bugList, ",")[0]
+		}
+		res, err := experiments.Overload(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gist-bench: overload: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(experiments.RenderOverload(res))
+		writeBench("overload", res.WriteJSON)
 	}
 }

@@ -76,6 +76,14 @@ func main() {
 		ingestTaskTTL    = flag.Duration("ingest-task-ttl", 0, "with -serve: how long completed-task idempotency keys are retained for duplicate-upload detection (0 = default 4x lease)")
 		ingestTaskCap    = flag.Int("ingest-task-cap", 0, "with -serve: max completed-task idempotency keys retained (0 = default 65536); live tasks are never evicted")
 
+		tenantRPS    = flag.Float64("tenant-rps", 0, "with -serve: per-tenant submit rate limit in reports/sec, shed with 429 + Retry-After beyond it (0 = unlimited)")
+		tenantBurst  = flag.Int("tenant-burst", 0, "with -serve: per-tenant token-bucket burst size (0 = default 2x -tenant-rps)")
+		maxInflight  = flag.Int("max-inflight", 0, "with -serve: cap on concurrently running campaigns; novel launches beyond it queue up to -launch-budget (0 = uncapped)")
+		launchBudget = flag.Int("launch-budget", 0, "with -serve: max novel launches queued behind -max-inflight before shedding with 429 (0 = default 4x max-inflight)")
+		hedgeAfter   = flag.Duration("hedge-after", 0, "with -serve: speculatively re-dispatch a leased task running longer than max(this, observed p95); first valid upload wins (0 = hedging off)")
+		drainWait    = flag.Duration("drain-wait", 30*time.Second, "with -serve: how long SIGINT/SIGTERM waits for in-flight campaigns to finish or checkpoint before exiting")
+		subDeadline  = flag.Duration("deadline", 0, "with -submit: end-to-end diagnosis deadline propagated to the server and its agents (0 = none)")
+
 		workerMode  = flag.Bool("worker", false, "run as a shard fleet worker: claim campaigns assigned under the shared -state-dir, drive them to completion, publish sketches")
 		agentMode   = flag.Bool("agent", false, "run as an endpoint agent: long-poll -server for tracking tasks, execute runs, upload traces")
 		serverURL   = flag.String("server", "", "with -agent or -submit: diagnosis server base URL, e.g. http://127.0.0.1:8443")
@@ -150,9 +158,17 @@ func main() {
 			IngestCacheBytes:   *ingestCacheBytes,
 			IngestTaskTTL:      *ingestTaskTTL,
 			IngestTaskCap:      *ingestTaskCap,
+			TenantRPS:          *tenantRPS,
+			TenantBurst:        *tenantBurst,
+			MaxInflight:        *maxInflight,
+			LaunchBudget:       *launchBudget,
+			HedgeAfter:         *hedgeAfter,
 		}
 		if err := sf.Validate(); err != nil {
 			fatalf("%v", err)
+		}
+		if *drainWait < 0 {
+			fatalf("-drain-wait %v is negative", *drainWait)
 		}
 		var fleet *shard.Flags
 		if *coordMode {
@@ -162,7 +178,7 @@ func main() {
 			}
 			fleet = &wf
 		}
-		runServe(sf, fleet, *ckptFsync, fatalf)
+		runServe(sf, fleet, *ckptFsync, *drainWait, fatalf)
 		return
 	}
 	if *workerMode {
@@ -213,7 +229,10 @@ func main() {
 		if bugs.ByName(*bugName) == nil {
 			fatalf("unknown bug %q (use -list)", *bugName)
 		}
-		runSubmit(af, *bugName, *tfSeed)
+		if *subDeadline < 0 {
+			fatalf("-deadline %v is negative (0 means none)", *subDeadline)
+		}
+		runSubmit(af, *bugName, *tfSeed, *subDeadline)
 		return
 	}
 
@@ -348,7 +367,15 @@ func main() {
 // land on the real filesystem under -state-dir (one subdirectory per
 // tenant), so a restarted server resumes in-flight campaigns from their
 // last durable generation.
-func runServe(f service.ServeFlags, fleet *shard.Flags, fsync bool, fatalf func(string, ...any)) {
+//
+// Shutdown mirrors the -supervise drain contract: the first signal
+// stops admissions (new submits shed with 429) and asks every live
+// campaign to checkpoint at its next iteration boundary, while the
+// listener stays open so in-flight agent uploads land; only once the
+// campaigns have unwound — or -drain-wait expires — does the listener
+// close. Exit 3 means resumable work was checkpointed; a restart with
+// the same -state-dir continues it byte-identically.
+func runServe(f service.ServeFlags, fleet *shard.Flags, fsync bool, drainWait time.Duration, fatalf func(string, ...any)) {
 	opts := service.Options{
 		Backend:          store.DirBackend{},
 		StateRoot:        f.StateDir,
@@ -358,6 +385,11 @@ func runServe(f service.ServeFlags, fleet *shard.Flags, fsync bool, fatalf func(
 		SketchCacheBytes: f.IngestCacheBytes,
 		DoneTaskTTL:      f.IngestTaskTTL,
 		MaxDoneTasks:     f.IngestTaskCap,
+		TenantRPS:        f.TenantRPS,
+		TenantBurst:      f.TenantBurst,
+		MaxInflight:      f.MaxInflight,
+		LaunchBudget:     f.LaunchBudget,
+		HedgeAfter:       f.HedgeAfter,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "gist: serve: "+format+"\n", args...)
 		},
@@ -376,10 +408,22 @@ func runServe(f service.ServeFlags, fleet *shard.Flags, fsync bool, fatalf func(
 		os.Exit(2)
 	}
 	hs := &http.Server{Handler: srv.Handler()}
+	type drainResult struct {
+		n    int
+		idle bool
+	}
+	drained := make(chan drainResult, 1)
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sigCh
+		fmt.Fprintln(os.Stderr, "gist: serve: draining (shedding new submits, checkpointing campaigns)")
+		srv.BeginDrain()
+		n, idle := srv.DrainWait(drainWait)
+		if !idle {
+			fmt.Fprintf(os.Stderr, "gist: serve: drain timed out after %v with campaigns still running\n", drainWait)
+		}
+		drained <- drainResult{n, idle}
 		hs.Close()
 	}()
 	if fleet != nil {
@@ -391,6 +435,20 @@ func runServe(f service.ServeFlags, fleet *shard.Flags, fsync bool, fatalf func(
 	if err != nil && err != http.ErrServerClosed {
 		fmt.Fprintf(os.Stderr, "gist: serve: %v\n", err)
 		os.Exit(1)
+	}
+	select {
+	case r := <-drained:
+		if !r.idle {
+			// The drain timed out with campaigns still running; Close has
+			// since unwound them to checkpoints, so recount now that the
+			// campaign waitgroup is settled.
+			r.n, _ = srv.DrainWait(time.Second)
+		}
+		if r.n > 0 || !r.idle {
+			fmt.Fprintf(os.Stderr, "gist: serve: %d campaign(s) drained to checkpoints; restart with the same -state-dir to continue\n", r.n)
+			os.Exit(3)
+		}
+	default:
 	}
 }
 
@@ -461,7 +519,7 @@ func runAgent(f service.AgentFlags, tfSeed int64, fatalf func(string, ...any)) {
 // prints the sketch JSON exactly as the server shipped it. The server
 // runs campaigns to completion (no developer oracle), so the output is
 // byte-identical to a local `gist -bug X -full -json` run.
-func runSubmit(f service.AgentFlags, bug string, tfSeed int64) {
+func runSubmit(f service.AgentFlags, bug string, tfSeed int64, deadline time.Duration) {
 	opts := service.ClientOptions{
 		BaseURL:  f.Server,
 		Tenant:   f.Tenant,
@@ -478,7 +536,11 @@ func runSubmit(f service.AgentFlags, bug string, tfSeed int64) {
 		fmt.Fprintf(os.Stderr, "gist: submit: "+format+"\n", args...)
 		os.Exit(1)
 	}
-	if err := cli.Call(ctx, service.PathSubmit, &service.SubmitRequest{Tenant: f.Tenant, Bug: bug}, nil); err != nil {
+	if err := cli.Call(ctx, service.PathSubmit, &service.SubmitRequest{
+		Tenant:     f.Tenant,
+		Bug:        bug,
+		DeadlineMs: deadline.Milliseconds(),
+	}, nil); err != nil {
 		die("%v", err)
 	}
 	var st service.StatusResponse

@@ -264,8 +264,10 @@ func ValidateBenchJSON(data []byte) error {
 		return ValidateVMJSON(data)
 	case "ingest":
 		return ValidateIngestJSON(data)
+	case "overload":
+		return ValidateOverloadJSON(data)
 	default:
-		return fmt.Errorf("bench json: unknown experiment %q (want perf, sched, shard, crashloop, service, vm, or ingest)", probe.Experiment)
+		return fmt.Errorf("bench json: unknown experiment %q (want perf, sched, shard, crashloop, service, vm, ingest, or overload)", probe.Experiment)
 	}
 }
 

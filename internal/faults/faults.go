@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
+	"time"
 
 	"repro/internal/hw/watch"
 )
@@ -75,6 +76,19 @@ type Config struct {
 	// never wedge an agent forever.
 	TransportRate float64
 
+	// SlowRate is the probability an agent's execution of one task is
+	// artificially delayed — the straggler fault the hedged-dispatch
+	// path exists for. Like DiskRate and TransportRate this is not a
+	// per-run pipeline class: decisions are drawn per (tenant, agent,
+	// task) by ForSlowdown from a separately keyed stream, so enabling
+	// it cannot shift any per-run fault decision and every diagnosis
+	// stays byte-identical — only its timing changes.
+	SlowRate float64
+	// SlowMeanMs is the mean injected delay in milliseconds for a slow
+	// task; 0 means 200. Actual delays are jittered in [0.5, 3.0]× the
+	// mean from the decision's seeded stream.
+	SlowMeanMs int
+
 	// DropFraction is the fraction of traps dropped within an affected
 	// run; 0 means 0.3.
 	DropFraction float64
@@ -88,7 +102,8 @@ type Config struct {
 func (c Config) Enabled() bool {
 	return c.CrashRate > 0 || c.HangRate > 0 || c.OverflowRate > 0 ||
 		c.CorruptRate > 0 || c.TrapDropRate > 0 || c.TrapReorderRate > 0 ||
-		c.TruncateRate > 0 || c.DiskRate > 0 || c.TransportRate > 0
+		c.TruncateRate > 0 || c.DiskRate > 0 || c.TransportRate > 0 ||
+		c.SlowRate > 0
 }
 
 // Rates returns the per-run pipeline class probabilities by name, in a
@@ -122,6 +137,12 @@ func (c Config) Validate() error {
 	}
 	if c.TransportRate < 0 || c.TransportRate > 1 {
 		return fmt.Errorf("faults: transport rate %g outside [0,1]", c.TransportRate)
+	}
+	if c.SlowRate < 0 || c.SlowRate > 1 {
+		return fmt.Errorf("faults: slow rate %g outside [0,1]", c.SlowRate)
+	}
+	if c.SlowMeanMs < 0 {
+		return fmt.Errorf("faults: slow mean %d ms is negative", c.SlowMeanMs)
 	}
 	if c.DropFraction < 0 || c.DropFraction > 1 {
 		return fmt.Errorf("faults: drop fraction %g outside [0,1]", c.DropFraction)
@@ -184,6 +205,19 @@ func Transport(seed int64, rate float64) Config {
 		rate = 1
 	}
 	return Config{Seed: seed, TransportRate: rate}
+}
+
+// Slowdown returns a Config injecting only agent-slowdown faults: rate
+// is the probability one task execution is delayed, meanMs the mean
+// delay (0 = 200ms). rate is clamped to [0, 1] like Composite's. This
+// is the knob the overload experiment's slow-agent mix sweeps.
+func Slowdown(seed int64, rate float64, meanMs int) Config {
+	if rate < 0 {
+		rate = 0
+	} else if rate > 1 {
+		rate = 1
+	}
+	return Config{Seed: seed, SlowRate: rate, SlowMeanMs: meanMs}
 }
 
 // String summarizes the configuration for experiment tables.
@@ -521,6 +555,83 @@ func (i *Injector) ForRequest(tenant, agent, request string, attempt int) Transp
 	if rng.Float64() < i.cfg.TransportRate {
 		d.Kind = TransportKind(1 + rng.Intn(5))
 	}
+	return d
+}
+
+// SlowDecision is the straggler fault injected into one task execution.
+// The zero value injects nothing.
+type SlowDecision struct {
+	Slow bool
+	// Delay is how long the agent must stall before uploading; zero
+	// unless Slow.
+	Delay time.Duration
+}
+
+// Any reports whether the decision injects a fault.
+func (d SlowDecision) Any() bool { return d.Slow }
+
+// ForSlowdown derives the straggler decision for one task execution, a
+// pure function of the injector seed and the execution's identity
+// (tenant, agent, task ID). The agent is in the key, so a hedged
+// re-dispatch of the same task to a different agent draws a fresh
+// decision — exactly the property that lets a hedge beat a straggler.
+// Nil-safe.
+func (i *Injector) ForSlowdown(tenant, agent string, taskID uint64) SlowDecision {
+	if i == nil || i.cfg.SlowRate <= 0 {
+		return SlowDecision{}
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "slow|%d|%s|%s|%d", i.cfg.Seed, tenant, agent, taskID)
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+	d := SlowDecision{}
+	if rng.Float64() < i.cfg.SlowRate {
+		mean := i.cfg.SlowMeanMs
+		if mean <= 0 {
+			mean = 200
+		}
+		d.Slow = true
+		d.Delay = time.Duration(float64(mean)*(0.5+2.5*rng.Float64())) * time.Millisecond
+	}
+	return d
+}
+
+// Flood is a seeded burst generator modeling a tenant flood: it yields
+// the deterministic inter-submit gaps of a bursty report stream whose
+// long-run offered rate averages rps. Submissions inside a burst are
+// back to back; the gap between bursts is jittered ±50% around
+// burst/rps seconds. The overload experiment and the CI flood smoke
+// drive their offered load from it so a flood replays exactly.
+type Flood struct {
+	rng   *rand.Rand
+	rps   float64
+	burst int
+	pos   int
+}
+
+// NewFlood returns a flood schedule for the given seed, offered rate
+// (submits/sec, min 1e-3) and burst size (min 1).
+func NewFlood(seed int64, rps float64, burst int) *Flood {
+	if rps < 1e-3 {
+		rps = 1e-3
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "flood|%d|%g|%d", seed, rps, burst)
+	return &Flood{rng: rand.New(rand.NewSource(int64(h.Sum64()))), rps: rps, burst: burst}
+}
+
+// Next returns the gap to wait before the next submission: zero within
+// a burst, a jittered burst-sized gap at each burst boundary. The first
+// burst fires immediately.
+func (f *Flood) Next() time.Duration {
+	var d time.Duration
+	if f.pos > 0 && f.pos%f.burst == 0 {
+		gap := float64(f.burst) / f.rps
+		d = time.Duration(gap * (0.5 + f.rng.Float64()) * float64(time.Second))
+	}
+	f.pos++
 	return d
 }
 

@@ -384,3 +384,140 @@ func TestTransportRateValidation(t *testing.T) {
 		t.Errorf("Transport clamps its rate, should validate: %v", err)
 	}
 }
+
+func TestSlowdownDecisions(t *testing.T) {
+	inj := NewInjector(Slowdown(7, 0.3, 200))
+
+	// Deterministic: the same (tenant, agent, task) replays exactly.
+	for task := uint64(1); task <= 64; task++ {
+		a := inj.ForSlowdown("acme", "ep-1", task)
+		b := inj.ForSlowdown("acme", "ep-1", task)
+		if a != b {
+			t.Fatalf("task %d: decisions differ on replay: %+v vs %+v", task, a, b)
+		}
+		if a.Slow && a.Delay <= 0 {
+			t.Fatalf("task %d: slow decision with non-positive delay %v", task, a.Delay)
+		}
+		if a.Slow != a.Any() {
+			t.Fatalf("task %d: Any() = %v disagrees with Slow = %v", task, a.Any(), a.Slow)
+		}
+	}
+
+	// The stream is keyed by agent: a hedged re-dispatch of the same
+	// task to another agent draws an independent decision, so a hedge
+	// can dodge the slowdown that stalled the first attempt.
+	differs := false
+	for task := uint64(1); task <= 256 && !differs; task++ {
+		differs = inj.ForSlowdown("acme", "ep-1", task).Slow != inj.ForSlowdown("acme", "ep-2", task).Slow
+	}
+	if !differs {
+		t.Fatal("per-agent slowdown streams are identical across 256 tasks at rate 0.3")
+	}
+
+	// The empirical rate must track the configured one.
+	slow := 0
+	const n = 2000
+	for task := uint64(0); task < n; task++ {
+		if inj.ForSlowdown("acme", "ep-1", task).Slow {
+			slow++
+		}
+	}
+	if got := float64(slow) / n; math.Abs(got-0.3) > 0.05 {
+		t.Fatalf("empirical slow rate %.3f, want ≈ 0.3", got)
+	}
+
+	// Rate 0 and nil injectors never slow anything.
+	if NewInjector(Slowdown(7, 0, 200)) != nil {
+		t.Fatal("rate-0 slowdown config must yield a nil injector")
+	}
+	var nilInj *Injector
+	if d := nilInj.ForSlowdown("t", "a", 1); d.Slow || d.Delay != 0 {
+		t.Fatalf("nil injector slowdown = %+v, want none", d)
+	}
+}
+
+func TestSlowdownDoesNotPerturbRunStream(t *testing.T) {
+	// Diagnoses stay byte-identical under the slow-agent mix because
+	// the slowdown stream is keyed separately: adding SlowRate to a
+	// config must not move a single draw of the shared run stream.
+	base := Composite(42, 0.5)
+	withSlow := base
+	withSlow.SlowRate = 0.5
+	withSlow.SlowMeanMs = 300
+	a, b := NewInjector(base), NewInjector(withSlow)
+	for ep := 0; ep < 8; ep++ {
+		for seed := int64(0); seed < 64; seed++ {
+			da, db := a.ForRun(ep, seed), b.ForRun(ep, seed)
+			if da.Crash != db.Crash || da.Hang != db.Hang || da.Overflow != db.Overflow ||
+				da.Corrupt != db.Corrupt || da.DropTraps != db.DropTraps ||
+				da.ReorderTraps != db.ReorderTraps || da.Truncate != db.Truncate {
+				t.Fatalf("run decision (%d,%d) shifted when SlowRate was added: %+v vs %+v", ep, seed, da, db)
+			}
+		}
+	}
+}
+
+func TestSlowdownRateValidation(t *testing.T) {
+	if err := (Config{SlowRate: 1.5}).Validate(); err == nil {
+		t.Error("slow rate 1.5 should fail validation")
+	}
+	if err := (Config{SlowRate: -0.1}).Validate(); err == nil {
+		t.Error("slow rate -0.1 should fail validation")
+	}
+	if err := (Config{SlowRate: 0.5, SlowMeanMs: -1}).Validate(); err == nil {
+		t.Error("negative slow mean should fail validation")
+	}
+	if err := Slowdown(1, 5, 100).Validate(); err != nil {
+		t.Errorf("Slowdown clamps its rate, should validate: %v", err)
+	}
+}
+
+func TestFloodDeterministicBursts(t *testing.T) {
+	// Same seed and shape → identical gap sequence.
+	a, b := NewFlood(3, 50, 10), NewFlood(3, 50, 10)
+	for i := 0; i < 200; i++ {
+		ga, gb := a.Next(), b.Next()
+		if ga != gb {
+			t.Fatalf("report %d: gaps differ: %v vs %v", i, ga, gb)
+		}
+	}
+
+	// Bursts are tight: within a burst the gap is zero, between bursts
+	// it is positive and centered on burst/rps.
+	f := NewFlood(3, 50, 10)
+	var gaps []float64
+	for i := 0; i < 500; i++ {
+		d := f.Next()
+		if i%10 != 0 || i == 0 {
+			if d != 0 {
+				t.Fatalf("report %d inside a burst has gap %v, want 0", i, d)
+			}
+			continue
+		}
+		if d <= 0 {
+			t.Fatalf("report %d between bursts has gap %v, want > 0", i, d)
+		}
+		gaps = append(gaps, d.Seconds())
+	}
+	mean := 0.0
+	for _, g := range gaps {
+		mean += g
+	}
+	mean /= float64(len(gaps))
+	// E[gap] = (burst/rps) × E[0.5 + U(0,1)] = 0.2s × 1.0.
+	if math.Abs(mean-0.2) > 0.05 {
+		t.Fatalf("mean inter-burst gap %.3fs, want ≈ 0.2s at 50 rps / burst 10", mean)
+	}
+
+	// Different seeds walk different gap sequences.
+	c, d := NewFlood(3, 50, 10), NewFlood(4, 50, 10)
+	same := true
+	for i := 0; i < 100; i++ {
+		if c.Next() != d.Next() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("two seeds produced identical flood timing")
+	}
+}

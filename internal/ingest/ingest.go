@@ -109,6 +109,18 @@ func (f *Frontend) Ingest(tenant, bug string, report *vm.FailureReport, seed int
 	return Decision{Key: key, Novel: novel, Reports: ev.Count, Seq: f.seq}
 }
 
+// Known reports whether a (tenant, bug, signature) stream is already
+// registered, without recording anything. The admission path's shed
+// decision needs this probe: a novel report rejected for lack of launch
+// budget must not burn its signature's one Novel slot — it has to stay
+// novel for the retry that finally gets admitted.
+func (f *Frontend) Known(tenant, bug string, report *vm.FailureReport) bool {
+	key := Key{Tenant: tenant, Bug: bug, Sig: Signature(report)}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.sigs[key] != nil
+}
+
 // Evidence returns a copy of the accumulated evidence for a key, or nil
 // if the key has never been seen.
 func (f *Frontend) Evidence(key Key) *Evidence {

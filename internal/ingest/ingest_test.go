@@ -210,3 +210,34 @@ func TestSketchCacheUnbounded(t *testing.T) {
 		t.Fatalf("unbounded cache evicted: %+v", st)
 	}
 }
+
+// TestKnownIsReadOnly pins the shed-probe contract: Known answers
+// registration without recording anything, so a report shed by
+// admission control keeps its one Novel slot for the retry that lands.
+func TestKnownIsReadOnly(t *testing.T) {
+	f := NewFrontend(4)
+
+	if f.Known("acme", "crash", report(10)) {
+		t.Fatal("Known true before any ingest")
+	}
+	// Probing must not consume the signature's Novel slot or bump any
+	// counter.
+	for i := 0; i < 5; i++ {
+		f.Known("acme", "crash", report(10))
+	}
+	if st := f.Stats(); st.Reports != 0 || st.Novel != 0 {
+		t.Fatalf("stats after probes = %+v, want untouched", st)
+	}
+	d := f.Ingest("acme", "crash", report(10), 1)
+	if !d.Novel {
+		t.Fatalf("first ingest after probes = %+v, want Novel", d)
+	}
+	if !f.Known("acme", "crash", report(10)) {
+		t.Fatal("Known false after ingest")
+	}
+	// Distinct tenant, bug, or signature are distinct streams.
+	if f.Known("beta", "crash", report(10)) || f.Known("acme", "other", report(10)) ||
+		f.Known("acme", "crash", report(11)) {
+		t.Fatal("Known leaked across tenant/bug/signature boundaries")
+	}
+}

@@ -44,6 +44,10 @@ type Config struct {
 	// Sleep overrides the wire client's backoff sleep; nil means
 	// time.Sleep. Tests use it to retry instantly.
 	Sleep func(time.Duration)
+	// Delay overrides the injected-slowdown sleep (the fault class that
+	// models a degraded endpoint); nil means time.Sleep. Tests stub it
+	// to observe slowdown decisions without waiting them out.
+	Delay func(time.Duration)
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
 }
@@ -54,6 +58,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RPCDeadline <= 0 {
 		c.RPCDeadline = 30 * time.Second
+	}
+	if c.Delay == nil {
+		c.Delay = time.Sleep
 	}
 	return c
 }
@@ -186,8 +193,26 @@ func (a *Agent) poll(ctx context.Context) (*service.WireTask, error) {
 // flight a heartbeat goroutine renews the lease at a third of its TTL,
 // so a long production run is not mistaken for a dead agent.
 func (a *Agent) execute(ctx context.Context, task *service.WireTask) {
+	if task.DeadlineMs < 0 {
+		// The campaign's deadline already passed when this task was
+		// leased. Running it would produce a result nobody may use (an
+		// expired campaign always fails, never serves a late sketch), so
+		// decline and let the reaper write the task off.
+		a.logf("agent %s: task %d: declined, campaign deadline expired", a.cfg.ID, task.TaskID)
+		return
+	}
 	stop := a.startHeartbeats(ctx)
 	defer stop()
+
+	// Injected endpoint slowdown: the decision stream is keyed by
+	// (tenant, agent, task), NOT by the run spec — a hedged re-dispatch
+	// of the same task to another agent draws a fresh decision, which is
+	// exactly how a real degraded endpoint behaves. Only timing changes;
+	// the trace bytes are untouched, so diagnoses stay byte-identical.
+	if d := faults.NewInjector(task.Faults).ForSlowdown(a.cfg.Tenant, a.cfg.ID, task.TaskID); d.Slow {
+		a.logf("agent %s: task %d: injected slowdown %v", a.cfg.ID, task.TaskID, d.Delay)
+		a.cfg.Delay(d.Delay)
+	}
 
 	rt, err := a.runTask(task)
 	if err != nil {

@@ -10,6 +10,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -71,6 +72,10 @@ func (o ClientOptions) withDefaults() ClientOptions {
 type StatusError struct {
 	Code int
 	Msg  string
+	// RetryAfter is the server's backoff hint on 429/503 replies (zero
+	// when the server sent none). Millisecond precision when the server
+	// set RetryAfterMsHeader; whole seconds from a plain Retry-After.
+	RetryAfter time.Duration
 }
 
 func (e *StatusError) Error() string {
@@ -120,12 +125,22 @@ func (c *Client) Call(ctx context.Context, path string, in, out any) error {
 	sum := BodyChecksum(body)
 
 	var lastErr error
+	var retryAfter time.Duration
 	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		if attempt > 0 {
-			c.opts.Sleep(c.backoff(attempt))
+			// A server Retry-After hint (429 shed) overrides the computed
+			// backoff for exactly one sleep: the server knows when a token
+			// accrues, so honoring it beats guessing — but only once, lest
+			// a stale hint pin every later retry to the same delay.
+			d := c.backoff(attempt)
+			if retryAfter > 0 {
+				d = retryAfter
+				retryAfter = 0
+			}
+			c.opts.Sleep(d)
 		}
 		dec := c.inj.ForRequest(c.opts.Tenant, c.opts.Actor, reqKey, attempt)
 		switch dec.Kind {
@@ -159,10 +174,19 @@ func (c *Client) Call(ctx context.Context, path string, in, out any) error {
 		data, err := c.post(ctx, path, body, sum)
 		if err != nil {
 			var se *StatusError
-			if errors.As(err, &se) && se.Code != http.StatusServiceUnavailable {
-				// A definitive server verdict (bad request, method not
-				// allowed) will not change on retry.
-				return err
+			if errors.As(err, &se) {
+				switch se.Code {
+				case http.StatusServiceUnavailable:
+					// Transient: draining or momentary overload.
+				case http.StatusTooManyRequests:
+					// Shed by admission control; retry when the server
+					// says a token (or launch slot) should be free.
+					retryAfter = se.RetryAfter
+				default:
+					// A definitive server verdict (bad request, method
+					// not allowed) will not change on retry.
+					return err
+				}
 			}
 			lastErr = err
 			continue
@@ -201,9 +225,32 @@ func (c *Client) post(ctx context.Context, path string, body []byte, sum string)
 	if resp.StatusCode != http.StatusOK {
 		var er ErrorResponse
 		_ = json.Unmarshal(data, &er)
-		return nil, &StatusError{Code: resp.StatusCode, Msg: er.Err}
+		return nil, &StatusError{
+			Code:       resp.StatusCode,
+			Msg:        er.Err,
+			RetryAfter: parseRetryAfter(resp.Header),
+		}
 	}
 	return data, nil
+}
+
+// parseRetryAfter extracts the server's backoff hint. The ms-precision
+// extension header wins (token-bucket refills are sub-second; rounding
+// to the mandatory ≥1s standard header would triple a flooded tenant's
+// recovery time); the standard delta-seconds Retry-After is the
+// fallback for plain proxies.
+func parseRetryAfter(h http.Header) time.Duration {
+	if v := h.Get(RetryAfterMsHeader); v != "" {
+		if ms, err := strconv.ParseInt(v, 10, 64); err == nil && ms > 0 {
+			return time.Duration(ms) * time.Millisecond
+		}
+	}
+	if v := h.Get("Retry-After"); v != "" {
+		if sec, err := strconv.Atoi(v); err == nil && sec > 0 {
+			return time.Duration(sec) * time.Second
+		}
+	}
+	return 0
 }
 
 // backoff returns the capped exponential delay before attempt n (n ≥

@@ -20,6 +20,11 @@ type ServeFlags struct {
 	IngestCacheBytes   int64         // -ingest-cache-bytes
 	IngestTaskTTL      time.Duration // -ingest-task-ttl
 	IngestTaskCap      int           // -ingest-task-cap
+	TenantRPS          float64       // -tenant-rps (0 = unlimited)
+	TenantBurst        int           // -tenant-burst (0 = default 2×rps)
+	MaxInflight        int           // -max-inflight (0 = uncapped)
+	LaunchBudget       int           // -launch-budget (0 = default 4×max-inflight)
+	HedgeAfter         time.Duration // -hedge-after (0 = hedging off)
 }
 
 // Validate rejects nonsensical serve flags, naming the flag at fault.
@@ -47,6 +52,27 @@ func (f ServeFlags) Validate() error {
 	}
 	if f.IngestTaskCap < 0 {
 		return fmt.Errorf("-ingest-task-cap %d must be >= 0 (0 = default)", f.IngestTaskCap)
+	}
+	if f.TenantRPS < 0 {
+		return fmt.Errorf("-tenant-rps %g must be >= 0 (0 = unlimited)", f.TenantRPS)
+	}
+	if f.TenantBurst < 0 {
+		return fmt.Errorf("-tenant-burst %d must be >= 0 (0 = default)", f.TenantBurst)
+	}
+	if f.TenantBurst > 0 && f.TenantRPS == 0 {
+		return fmt.Errorf("-tenant-burst %d requires -tenant-rps > 0 (no bucket to size without a rate)", f.TenantBurst)
+	}
+	if f.MaxInflight < 0 {
+		return fmt.Errorf("-max-inflight %d must be >= 0 (0 = uncapped)", f.MaxInflight)
+	}
+	if f.LaunchBudget < 0 {
+		return fmt.Errorf("-launch-budget %d must be >= 0 (0 = default)", f.LaunchBudget)
+	}
+	if f.LaunchBudget > 0 && f.MaxInflight == 0 {
+		return fmt.Errorf("-launch-budget %d requires -max-inflight > 0 (nothing queues without an inflight cap)", f.LaunchBudget)
+	}
+	if f.HedgeAfter < 0 {
+		return fmt.Errorf("-hedge-after %v must be >= 0 (0 = hedging off)", f.HedgeAfter)
 	}
 	return nil
 }

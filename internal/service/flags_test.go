@@ -32,6 +32,18 @@ func TestServeFlagValidation(t *testing.T) {
 		{"zero poll timeout", func(f *ServeFlags) { f.PollTimeout = 0 }, "-poll-timeout"},
 		{"fault rate below range", func(f *ServeFlags) { f.TransportFaultRate = -0.1 }, "-transport-fault-rate"},
 		{"fault rate above range", func(f *ServeFlags) { f.TransportFaultRate = 1.1 }, "-transport-fault-rate"},
+		{"valid tenant rps", func(f *ServeFlags) { f.TenantRPS = 2.5 }, ""},
+		{"negative tenant rps", func(f *ServeFlags) { f.TenantRPS = -1 }, "-tenant-rps"},
+		{"valid tenant burst", func(f *ServeFlags) { f.TenantRPS = 2.5; f.TenantBurst = 10 }, ""},
+		{"negative tenant burst", func(f *ServeFlags) { f.TenantRPS = 2.5; f.TenantBurst = -1 }, "-tenant-burst"},
+		{"burst without rate", func(f *ServeFlags) { f.TenantBurst = 10 }, "-tenant-burst"},
+		{"valid inflight cap", func(f *ServeFlags) { f.MaxInflight = 8 }, ""},
+		{"negative inflight cap", func(f *ServeFlags) { f.MaxInflight = -1 }, "-max-inflight"},
+		{"valid launch budget", func(f *ServeFlags) { f.MaxInflight = 8; f.LaunchBudget = 32 }, ""},
+		{"negative launch budget", func(f *ServeFlags) { f.LaunchBudget = -1 }, "-launch-budget"},
+		{"budget without inflight cap", func(f *ServeFlags) { f.LaunchBudget = 32 }, "-launch-budget"},
+		{"valid hedge", func(f *ServeFlags) { f.HedgeAfter = 2 * time.Second }, ""},
+		{"negative hedge", func(f *ServeFlags) { f.HedgeAfter = -time.Second }, "-hedge-after"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -4,9 +4,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -77,6 +79,35 @@ type Options struct {
 	// PlacePoll is how often a coordinator-mode campaign polls the fleet
 	// for its done record (default 150ms).
 	PlacePoll time.Duration
+	// TenantRPS caps each tenant's submit rate on /v1/reports with a
+	// token bucket (tokens/sec); 0 disables rate limiting. A tenant
+	// over its rate is bounced with HTTP 429 and a Retry-After telling
+	// it when the next token accrues — the front-door gate that keeps
+	// one flooding tenant from starving the rest.
+	TenantRPS float64
+	// TenantBurst is the bucket depth (max burst admitted at once);
+	// 0 means max(1, ceil(2×TenantRPS)).
+	TenantBurst int
+	// MaxInflight caps concurrently running campaigns; 0 = unbounded.
+	// Admitted novel signatures beyond it park in the launch queue.
+	MaxInflight int
+	// LaunchBudget bounds the launch queue behind the in-flight cap;
+	// novel submits beyond it are shed with 429. 0 means 4×MaxInflight.
+	// Ignored while MaxInflight is 0.
+	LaunchBudget int
+	// HedgeAfter floors the hedged-dispatch threshold: a leased task
+	// running longer than max(HedgeAfter, p95 of completed run
+	// durations) is speculatively re-dispatched to a second agent and
+	// the first valid upload wins. 0 disables hedging.
+	HedgeAfter time.Duration
+	// ShedRetryAfter is the Retry-After advertised on a launch-budget
+	// or drain shed (default 1s); rate-limit sheds compute theirs from
+	// the bucket refill instead.
+	ShedRetryAfter time.Duration
+	// Now overrides the server's clock (leases, reaper, heartbeat
+	// cutoff, done-task TTL, token buckets, deadlines); nil means
+	// time.Now. Tests drive lease expiry without sleeping through it.
+	Now func() time.Time
 	// ConfigFor maps a bug name to its campaign configuration; nil
 	// means the registered bug suite's GistConfig.
 	ConfigFor func(bug string) (core.Config, error)
@@ -126,6 +157,21 @@ func (o Options) withDefaults() Options {
 	if o.MaxDoneTasks <= 0 {
 		o.MaxDoneTasks = 65536
 	}
+	if o.TenantBurst <= 0 && o.TenantRPS > 0 {
+		o.TenantBurst = int(math.Ceil(2 * o.TenantRPS))
+		if o.TenantBurst < 1 {
+			o.TenantBurst = 1
+		}
+	}
+	if o.LaunchBudget <= 0 && o.MaxInflight > 0 {
+		o.LaunchBudget = 4 * o.MaxInflight
+	}
+	if o.ShedRetryAfter <= 0 {
+		o.ShedRetryAfter = time.Second
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
 	if o.ConfigFor == nil {
 		o.ConfigFor = func(bug string) (core.Config, error) {
 			b := bugs.ByName(bug)
@@ -155,6 +201,14 @@ type task struct {
 	attempt    int // lease grants so far
 	agent      string
 	leaseUntil time.Time // zero while queued
+	leasedAt   time.Time // when the current lease was granted
+	// deadline is the campaign deadline stamped on the task (zero =
+	// none); the reaper writes past-deadline tasks off.
+	deadline time.Time
+	// hedged marks a task the reaper speculatively re-dispatched after
+	// its runtime crossed the hedge threshold; at most one hedge per
+	// task, and the idempotency key admits whichever upload lands first.
+	hedged bool
 
 	done    bool
 	doneAt  time.Time // when done became true; drives idempotency-key eviction
@@ -185,15 +239,23 @@ type campaignState struct {
 	lowConfidence bool
 	restarts      int
 	done          chan struct{}
+	// deadline is the absolute diagnosis deadline (zero = none);
+	// expired is set by the reaper when it passes, and abort is closed
+	// at the same moment so a launch parked in the queue unparks.
+	deadline time.Time
+	expired  bool
+	abort    chan struct{}
 }
 
-// tenantState is one tenant's agents, queue, and campaigns.
+// tenantState is one tenant's agents, queue, campaigns, and rate
+// limiter.
 type tenantState struct {
 	name      string
 	agents    map[string]*agentInfo
 	queue     []*task
 	waiters   []*waiter
 	campaigns map[string]*campaignState // by campaignKey(bug, signature)
+	bucket    *tokenBucket              // nil until the first submit under TenantRPS
 }
 
 // campaignKey names one diagnosis stream within a tenant: the bug name,
@@ -223,12 +285,33 @@ type Server struct {
 	// doneTasks holds completed tasks in completion order, the eviction
 	// queue for idempotency keys (guarded by mu).
 	doneTasks []*task
+	// Admission state (guarded by mu): inflight campaigns hold a slot
+	// in slotCh, launchQ counts admitted novel signatures parked behind
+	// the cap, maxLaunchQ is its high-water mark, draining stops new
+	// admissions, and sups tracks live supervisors for drain requests.
+	inflight   int
+	launchQ    int
+	maxLaunchQ int
+	draining   bool
+	sups       map[*supervise.Supervisor]struct{}
+	// runDur is a bounded ring of completed-run durations (ms) feeding
+	// the hedge threshold's p95.
+	runDur    []float64
+	runDurPos int
+	// health aggregates FleetHealth across finished campaigns.
+	health core.FleetHealth
+
+	// slotCh is the MaxInflight semaphore; nil when uncapped.
+	slotCh chan struct{}
 
 	metrics metrics
 
 	closed    chan struct{}
 	closeOnce sync.Once
 	wg        sync.WaitGroup
+	// campWG tracks campaign goroutines only (wg also covers the
+	// reaper); drain waits on it.
+	campWG sync.WaitGroup
 
 	handler http.Handler
 }
@@ -239,12 +322,17 @@ func NewServer(opts Options) *Server {
 		opts:    opts.withDefaults(),
 		tenants: map[string]*tenantState{},
 		tasks:   map[uint64]*task{},
+		sups:    map[*supervise.Supervisor]struct{}{},
 		closed:  make(chan struct{}),
+	}
+	if s.opts.MaxInflight > 0 {
+		s.slotCh = make(chan struct{}, s.opts.MaxInflight)
 	}
 	s.front = ingest.NewFrontend(s.opts.MaxSeedsPerSignature)
 	s.cache = ingest.NewSketchCache(s.opts.SketchCacheBytes)
 	mux := http.NewServeMux()
 	mux.HandleFunc(PathHealthz, s.handleHealthz)
+	mux.HandleFunc(PathHealth, s.handleHealth)
 	mux.HandleFunc(PathSubmit, jsonHandler(s, s.handleSubmit))
 	mux.HandleFunc(PathStatus, jsonHandler(s, s.handleStatus))
 	mux.HandleFunc(PathSketch, jsonHandler(s, s.handleSketch))
@@ -301,18 +389,37 @@ func (s *Server) WaitCampaignSig(tenant, bug, sig string) bool {
 	return true
 }
 
+// now reads the injected clock.
+func (s *Server) now() time.Time { return s.opts.Now() }
+
 // ---- HTTP plumbing ----------------------------------------------------
 
-// httpError is an error with a status code.
+// httpError is an error with a status code and, for shed replies, a
+// Retry-After hint.
 type httpError struct {
-	code int
-	msg  string
+	code       int
+	msg        string
+	retryAfter time.Duration
 }
 
 func (e *httpError) Error() string { return e.msg }
 
 func badRequest(format string, args ...any) error {
 	return &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// overloaded builds the 429 shed reply: the standard Retry-After header
+// (integer seconds, rounded up) plus the millisecond-precision header
+// the wire client prefers.
+func overloaded(retryAfter time.Duration, format string, args ...any) error {
+	if retryAfter <= 0 {
+		retryAfter = time.Second
+	}
+	return &httpError{
+		code:       http.StatusTooManyRequests,
+		msg:        fmt.Sprintf(format, args...),
+		retryAfter: retryAfter,
+	}
 }
 
 // jsonHandler adapts a typed handler: verify the body checksum, decode
@@ -346,6 +453,14 @@ func jsonHandler[Req, Resp any](s *Server, f func(*Req) (*Resp, error)) http.Han
 			code := http.StatusInternalServerError
 			if he, ok := err.(*httpError); ok {
 				code = he.code
+				if he.retryAfter > 0 {
+					secs := int64(math.Ceil(he.retryAfter.Seconds()))
+					if secs < 1 {
+						secs = 1
+					}
+					w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+					w.Header().Set(RetryAfterMsHeader, strconv.FormatInt(he.retryAfter.Milliseconds(), 10))
+				}
 			}
 			writeError(w, code, "%v", err)
 			return
@@ -382,6 +497,9 @@ func (s *Server) handleSubmit(req *SubmitRequest) (*SubmitResponse, error) {
 	if req.DiscoveryRuns < 0 {
 		return nil, badRequest("submit: discovery_runs must be >= 0, got %d", req.DiscoveryRuns)
 	}
+	if req.DeadlineMs < 0 {
+		return nil, badRequest("submit: deadline_ms must be >= 0, got %d", req.DeadlineMs)
+	}
 	cfg, err := s.opts.ConfigFor(req.Bug)
 	if err != nil {
 		return nil, badRequest("submit: %v", err)
@@ -389,8 +507,49 @@ func (s *Server) handleSubmit(req *SubmitRequest) (*SubmitResponse, error) {
 	// Ingest under the server mutex so the dedup decision and the
 	// campaign registration are one atomic step: exactly the Novel
 	// caller registers, everyone else observes the registered campaign.
+	// The admission gates run under the same lock, before the ingest
+	// mutation, so a shed report leaves no trace in the frontend.
 	s.mu.Lock()
+	now := s.now()
 	t := s.tenant(req.Tenant)
+	// Gate 1: per-tenant rate limit. Every submit — fold or novel —
+	// spends a token; a flooding tenant is bounced here with the time
+	// until its next token as the Retry-After.
+	if s.opts.TenantRPS > 0 {
+		if t.bucket == nil {
+			t.bucket = newTokenBucket(s.opts.TenantRPS, s.opts.TenantBurst)
+		}
+		if ok, ra := t.bucket.take(now); !ok {
+			s.mu.Unlock()
+			s.metrics.add(func(m *Counters) { m.ShedRateLimited++ })
+			s.opts.Telemetry.AddL(req.Tenant, "service.shed_rate_limited", 1)
+			return nil, overloaded(ra, "submit: tenant %s over its rate limit (%g/s)", req.Tenant, s.opts.TenantRPS)
+		}
+	}
+	if s.draining {
+		s.mu.Unlock()
+		s.metrics.add(func(m *Counters) { m.ShedLaunches++ })
+		return nil, overloaded(s.opts.ShedRetryAfter, "submit: server is draining")
+	}
+	// Gate 2: priority shedding. A recurrence fold is an O(1) cluster
+	// update and always admitted past this point; a novel signature
+	// must launch a campaign, which queues behind the in-flight cap up
+	// to the launch budget and is shed beyond it. The novelty probe is
+	// read-only: a shed report must stay novel for its retry.
+	// The bound is on total occupancy (running + parked) rather than on
+	// the two counts separately: a just-admitted campaign sits in
+	// launchQ until its goroutine grabs a slot, and checking the counts
+	// separately would let submits racing that handoff overshoot the
+	// queue bound.
+	novel := !s.front.Known(req.Tenant, req.Bug, req.Report)
+	if novel && s.slotCh != nil && s.inflight+s.launchQ >= s.opts.MaxInflight+s.opts.LaunchBudget {
+		inflight, queued := s.inflight, s.launchQ
+		s.mu.Unlock()
+		s.metrics.add(func(m *Counters) { m.ShedLaunches++ })
+		s.opts.Telemetry.AddL(req.Tenant, "service.shed_launches", 1)
+		return nil, overloaded(s.opts.ShedRetryAfter,
+			"submit: launch queue full (%d campaigns in flight, %d queued)", inflight, queued)
+	}
 	dec := s.front.Ingest(req.Tenant, req.Bug, req.Report, req.Seed)
 	resp := &SubmitResponse{
 		Tenant: req.Tenant, Bug: req.Bug,
@@ -402,20 +561,100 @@ func (s *Server) handleSubmit(req *SubmitRequest) (*SubmitResponse, error) {
 		resp.Duplicate = true
 		return resp, nil
 	}
-	cs := &campaignState{state: StateRunning, done: make(chan struct{})}
+	cs := &campaignState{state: StateRunning, done: make(chan struct{}), abort: make(chan struct{})}
+	if req.DeadlineMs > 0 {
+		cs.deadline = now.Add(time.Duration(req.DeadlineMs) * time.Millisecond)
+	}
 	key := campaignKey(req.Bug, dec.Key.Sig)
 	t.campaigns[key] = cs
+	if s.slotCh != nil {
+		// Account the launch-queue seat under the same lock as the
+		// budget check, so the bound can never be overshot by a race.
+		cs.state = StateQueued
+		s.launchQ++
+		// The high-water mark counts campaigns parked beyond the
+		// in-flight cap, not raw launchQ: a just-admitted campaign sits
+		// in launchQ until its goroutine grabs a free slot, and that
+		// transient would read as queue growth. The occupancy gate
+		// bounds this excess by exactly LaunchBudget.
+		if excess := s.inflight + s.launchQ - s.opts.MaxInflight; excess > s.maxLaunchQ {
+			s.maxLaunchQ = excess
+		}
+	}
 	s.mu.Unlock()
 	s.metrics.add(func(m *Counters) { m.NovelSignatures++ })
 
-	s.logf("submit: tenant=%s bug=%s sig=%q", req.Tenant, req.Bug, dec.Key.Sig)
+	s.logf("submit: tenant=%s bug=%s sig=%q deadline_ms=%d", req.Tenant, req.Bug, dec.Key.Sig, req.DeadlineMs)
 	s.wg.Add(1)
+	s.campWG.Add(1)
 	if s.opts.Placer != nil {
-		go s.placeCampaign(cs, req.Tenant, req.Bug, key, dec.Key.Sig, req.Report, req.DiscoveryRuns)
+		go s.launch(cs, tenantKeyLabel(req.Tenant, key), func() {
+			s.placeCampaign(cs, req.Tenant, req.Bug, key, dec.Key.Sig, req.Report, req.DiscoveryRuns)
+		})
 	} else {
-		go s.runCampaign(cs, req.Tenant, req.Bug, key, cfg, req.Report, req.DiscoveryRuns)
+		go s.launch(cs, tenantKeyLabel(req.Tenant, key), func() {
+			s.runCampaign(cs, req.Tenant, req.Bug, key, cfg, req.Report, req.DiscoveryRuns)
+		})
 	}
 	return resp, nil
+}
+
+// tenantKeyLabel names a campaign for logs.
+func tenantKeyLabel(tenant, key string) string { return tenant + "/" + key }
+
+// launch runs one admitted campaign under the global in-flight cap:
+// park in the bounded launch queue until a slot frees (or the deadline
+// reaper, a drain-less Close, aborts the wait), then run. run must not
+// touch wg/campWG itself.
+func (s *Server) launch(cs *campaignState, label string, run func()) {
+	defer s.wg.Done()
+	defer s.campWG.Done()
+	if s.slotCh != nil {
+		select {
+		case s.slotCh <- struct{}{}:
+		case <-cs.abort:
+			s.mu.Lock()
+			s.launchQ--
+			cs.state = StateFailed
+			cs.err = fmt.Errorf("deadline exceeded before launch")
+			close(cs.done)
+			s.mu.Unlock()
+			s.metrics.add(func(m *Counters) { m.DeadlineExpired++ })
+			s.logf("campaign %s shed from launch queue: deadline exceeded", label)
+			return
+		case <-s.closed:
+			s.mu.Lock()
+			s.launchQ--
+			cs.state = StateFailed
+			cs.err = fmt.Errorf("server closed while queued for launch")
+			close(cs.done)
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Lock()
+		s.launchQ--
+		s.inflight++
+		if cs.state == StateQueued {
+			cs.state = StateRunning
+		}
+		s.mu.Unlock()
+		defer func() {
+			s.mu.Lock()
+			s.inflight--
+			s.mu.Unlock()
+			<-s.slotCh
+		}()
+	} else {
+		s.mu.Lock()
+		s.inflight++
+		s.mu.Unlock()
+		defer func() {
+			s.mu.Lock()
+			s.inflight--
+			s.mu.Unlock()
+		}()
+	}
+	run()
 }
 
 // placeCampaign is runCampaign's coordinator-mode counterpart: publish
@@ -424,7 +663,6 @@ func (s *Server) handleSubmit(req *SubmitRequest) (*SubmitResponse, error) {
 // with the same layout runCampaign uses, so sketch fetch and reload are
 // oblivious to which process diagnosed the bug.
 func (s *Server) placeCampaign(cs *campaignState, tenant, bug, key, sig string, report *vm.FailureReport, discRuns int) {
-	defer s.wg.Done()
 	fail := func(err error) {
 		s.mu.Lock()
 		cs.state = StateFailed
@@ -553,7 +791,7 @@ func (s *Server) handleRegister(req *RegisterRequest) (*RegisterResponse, error)
 	}
 	s.mu.Lock()
 	t := s.tenant(req.Tenant)
-	t.touch(req.Agent)
+	t.touch(req.Agent, s.now())
 	s.mu.Unlock()
 	s.logf("register: tenant=%s agent=%s", req.Tenant, req.Agent)
 	return &RegisterResponse{LeaseMs: s.opts.LeaseTTL.Milliseconds()}, nil
@@ -565,11 +803,12 @@ func (s *Server) handlePoll(req *PollRequest) (*PollResponse, error) {
 	}
 	s.mu.Lock()
 	t := s.tenant(req.Tenant)
-	t.touch(req.Agent)
+	t.touch(req.Agent, s.now())
 	if tk := t.pop(); tk != nil {
 		s.lease(tk, req.Agent)
+		resp := &PollResponse{Task: s.wireTask(tk)}
 		s.mu.Unlock()
-		return &PollResponse{Task: wireTask(tk)}, nil
+		return resp, nil
 	}
 	w := &waiter{agent: req.Agent, ch: make(chan *task, 1)}
 	t.waiters = append(t.waiters, w)
@@ -583,7 +822,7 @@ func (s *Server) handlePoll(req *PollRequest) (*PollResponse, error) {
 	defer timer.Stop()
 	select {
 	case tk := <-w.ch:
-		return &PollResponse{Task: wireTask(tk)}, nil
+		return &PollResponse{Task: s.wireTask(tk)}, nil
 	case <-timer.C:
 	case <-s.closed:
 	}
@@ -595,7 +834,7 @@ func (s *Server) handlePoll(req *PollRequest) (*PollResponse, error) {
 	// settles it.
 	select {
 	case tk := <-w.ch:
-		return &PollResponse{Task: wireTask(tk)}, nil
+		return &PollResponse{Task: s.wireTask(tk)}, nil
 	default:
 		return &PollResponse{}, nil
 	}
@@ -607,8 +846,8 @@ func (s *Server) handleHeartbeat(req *HeartbeatRequest) (*HeartbeatResponse, err
 	}
 	s.mu.Lock()
 	t := s.tenant(req.Tenant)
-	t.touch(req.Agent)
-	now := time.Now()
+	now := s.now()
+	t.touch(req.Agent, now)
 	for _, tk := range s.tasks {
 		if !tk.done && tk.tenant == req.Tenant && tk.agent == req.Agent && !tk.leaseUntil.IsZero() {
 			tk.leaseUntil = now.Add(s.opts.LeaseTTL)
@@ -628,7 +867,7 @@ func (s *Server) handleUpload(req *UploadRequest) (*UploadResponse, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	t := s.tenant(req.Tenant)
-	t.touch(req.Agent)
+	t.touch(req.Agent, s.now())
 	tk := s.tasks[req.TaskID]
 	if tk == nil || tk.tenant != req.Tenant {
 		// Unknown task: a retry that outlived its campaign (or a
@@ -648,6 +887,13 @@ func (s *Server) handleUpload(req *UploadRequest) (*UploadResponse, error) {
 	if !req.Crashed {
 		tk.trace = DecodeTrace(req.Trace)
 	}
+	if tk.hedged {
+		s.metrics.add(func(m *Counters) { m.HedgedResults++ })
+	}
+	if !tk.leasedAt.IsZero() {
+		// Completed-run durations feed the hedge threshold's p95.
+		s.observeRunDuration(s.now().Sub(tk.leasedAt))
+	}
 	s.markDone(tk)
 	s.metrics.add(func(m *Counters) { m.Uploads++ })
 	s.opts.Telemetry.AddL(tk.tenant+"/"+tk.bug, "service.uploads", 1)
@@ -662,7 +908,6 @@ func (s *Server) handleUpload(req *UploadRequest) (*UploadResponse, error) {
 // supervise it to completion with per-tenant durable checkpoints. key
 // is the campaignKey the stream is registered under.
 func (s *Server) runCampaign(cs *campaignState, tenant, bug, key string, cfg core.Config, report *vm.FailureReport, discRuns int) {
-	defer s.wg.Done()
 	fail := func(err error) {
 		s.mu.Lock()
 		cs.state = StateFailed
@@ -674,6 +919,17 @@ func (s *Server) runCampaign(cs *campaignState, tenant, bug, key string, cfg cor
 	cfg.Label = tenant + "/" + key
 	if cfg.Telemetry == nil {
 		cfg.Telemetry = s.opts.Telemetry
+	}
+
+	// A campaign admitted but expired while queued must not burn runs.
+	s.mu.Lock()
+	expired := cs.expired
+	deadline := cs.deadline
+	s.mu.Unlock()
+	if expired {
+		s.metrics.add(func(m *Counters) { m.DeadlineExpired++ })
+		fail(fmt.Errorf("deadline exceeded before launch"))
+		return
 	}
 
 	if report == nil {
@@ -691,7 +947,7 @@ func (s *Server) runCampaign(cs *campaignState, tenant, bug, key string, cfg cor
 		fail(fmt.Errorf("campaign: %w", err))
 		return
 	}
-	runner := &remoteRunner{s: s, tenant: tenant, bug: bug, fcfg: cfg.Faults}
+	runner := &remoteRunner{s: s, tenant: tenant, bug: bug, fcfg: cfg.Faults, deadline: deadline}
 	camp.UseRunner(runner)
 
 	ckpt, err := store.Open(
@@ -716,8 +972,41 @@ func (s *Server) runCampaign(cs *campaignState, tenant, bug, key string, cfg cor
 		fail(err)
 		return
 	}
+	// Register the supervisor so a server drain reaches mid-flight
+	// campaigns; a drain that began before this launch acquired its
+	// slot drains the campaign at its first boundary.
+	s.mu.Lock()
+	s.sups[sup] = struct{}{}
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		sup.RequestDrain()
+	}
 	outs := sup.Run()
+	s.mu.Lock()
+	delete(s.sups, sup)
+	expired = cs.expired
+	s.mu.Unlock()
 	out := outs[0]
+	if expired {
+		// The reaper wrote the campaign's runs off when the deadline
+		// passed; whatever the degraded machinery produced is not a
+		// trustworthy diagnosis, so the deadline surfaces as failure —
+		// an admitted sketch is either byte-identical to batch or never
+		// served.
+		fail(fmt.Errorf("deadline exceeded after %d restarts", out.Restarts))
+		return
+	}
+	if out.Drained {
+		s.mu.Lock()
+		cs.state = StateDrained
+		cs.err = out.Err
+		cs.restarts = out.Restarts
+		close(cs.done)
+		s.mu.Unlock()
+		s.logf("campaign drained to checkpoint: tenant=%s key=%s", tenant, key)
+		return
+	}
 	if out.Result == nil || out.Result.Sketch == nil {
 		err := out.Err
 		if err == nil {
@@ -738,6 +1027,7 @@ func (s *Server) runCampaign(cs *campaignState, tenant, bug, key string, cfg cor
 	cs.state = StateDone
 	cs.lowConfidence = out.Result.Sketch.LowConfidence
 	cs.restarts = out.Restarts
+	s.health.Merge(out.Result.Health)
 	close(cs.done)
 	s.mu.Unlock()
 	s.logf("campaign done: tenant=%s key=%s low_confidence=%v restarts=%d",
@@ -753,6 +1043,9 @@ type remoteRunner struct {
 	tenant string
 	bug    string
 	fcfg   faults.Config
+	// deadline is the campaign deadline stamped on every task (zero =
+	// none).
+	deadline time.Time
 }
 
 // RunBatch enqueues every job as a task and blocks until each is
@@ -762,19 +1055,20 @@ func (r *remoteRunner) RunBatch(plan *core.Plan, jobs []core.RunJob) []*core.Run
 	tasks := make([]*task, len(jobs))
 	r.s.mu.Lock()
 	t := r.s.tenant(r.tenant)
-	now := time.Now()
+	now := r.s.now()
 	for i, job := range jobs {
 		r.s.nextTask++
 		tk := &task{
-			id:     r.s.nextTask,
-			tenant: r.tenant,
-			bug:    r.bug,
-			window: plan.Tracked,
-			feats:  plan.Feats,
-			spec:   job.Spec,
-			fcfg:   r.fcfg,
-			queued: now,
-			doneCh: make(chan struct{}),
+			id:       r.s.nextTask,
+			tenant:   r.tenant,
+			bug:      r.bug,
+			window:   plan.Tracked,
+			feats:    plan.Feats,
+			spec:     job.Spec,
+			fcfg:     r.fcfg,
+			queued:   now,
+			deadline: r.deadline,
+			doneCh:   make(chan struct{}),
 		}
 		r.s.tasks[tk.id] = tk
 		tasks[i] = tk
@@ -825,8 +1119,8 @@ func (s *Server) tenant(name string) *tenantState {
 	return t
 }
 
-// touch records agent liveness. Caller holds mu.
-func (t *tenantState) touch(agent string) {
+// touch records agent liveness at the given instant. Caller holds mu.
+func (t *tenantState) touch(agent string, now time.Time) {
 	if agent == "" {
 		return
 	}
@@ -835,13 +1129,13 @@ func (t *tenantState) touch(agent string) {
 		a = &agentInfo{}
 		t.agents[agent] = a
 	}
-	a.lastSeen = time.Now()
+	a.lastSeen = now
 }
 
 // live reports whether any agent of the tenant has been seen within the
-// window. Caller holds mu.
-func (t *tenantState) live(window time.Duration) bool {
-	cutoff := time.Now().Add(-window)
+// window ending at now. Caller holds mu.
+func (t *tenantState) live(now time.Time, window time.Duration) bool {
+	cutoff := now.Add(-window)
 	for _, a := range t.agents {
 		if a.lastSeen.After(cutoff) {
 			return true
@@ -889,9 +1183,11 @@ func (s *Server) dispatch(t *tenantState, tk *task) {
 
 // lease grants a task to an agent. Caller holds mu.
 func (s *Server) lease(tk *task, agent string) {
+	now := s.now()
 	tk.attempt++
 	tk.agent = agent
-	tk.leaseUntil = time.Now().Add(s.opts.LeaseTTL)
+	tk.leasedAt = now
+	tk.leaseUntil = now.Add(s.opts.LeaseTTL)
 }
 
 // markDone completes a task exactly once: flips the idempotency flag,
@@ -899,7 +1195,7 @@ func (s *Server) lease(tk *task, agent string) {
 // key for TTL/size-capped eviction. Caller holds mu.
 func (s *Server) markDone(tk *task) {
 	tk.done = true
-	tk.doneAt = time.Now()
+	tk.doneAt = s.now()
 	close(tk.doneCh)
 	s.doneTasks = append(s.doneTasks, tk)
 }
@@ -936,12 +1232,15 @@ func (s *Server) evictDoneTasks(now time.Time) {
 	}
 }
 
-// reap is the lease reaper: expired leases send tasks back to the queue
-// for reassignment (or write them off past the attempt budget), and
-// queued tasks with no live fleet are written off after NoAgentTimeout.
+// reap is the lease reaper loop; reapOnce holds the logic. The tick
+// tightens to half the hedge floor when hedging is on, so a straggler
+// is noticed well before its lease would expire.
 func (s *Server) reap() {
 	defer s.wg.Done()
 	tick := s.opts.LeaseTTL / 4
+	if s.opts.HedgeAfter > 0 && s.opts.HedgeAfter/2 < tick {
+		tick = s.opts.HedgeAfter / 2
+	}
 	if tick < 5*time.Millisecond {
 		tick = 5 * time.Millisecond
 	}
@@ -953,43 +1252,118 @@ func (s *Server) reap() {
 			return
 		case <-ticker.C:
 		}
-		now := time.Now()
-		s.mu.Lock()
-		for _, tk := range s.tasks {
-			if tk.done {
-				continue
-			}
-			t := s.tenant(tk.tenant)
-			if !tk.leaseUntil.IsZero() && now.After(tk.leaseUntil) {
-				// The agent holding the lease went quiet.
-				if tk.attempt >= s.opts.MaxTaskAttempts {
-					s.logf("task %d (%s/%s) lost after %d attempts", tk.id, tk.tenant, tk.bug, tk.attempt)
-					s.markLost(tk)
-					continue
-				}
-				tk.agent = ""
-				tk.leaseUntil = time.Time{}
-				s.metrics.add(func(m *Counters) { m.Reassigned++ })
-				s.opts.Telemetry.AddL(tk.tenant+"/"+tk.bug, "service.reassigned", 1)
-				s.logf("task %d (%s/%s) lease expired; requeued (attempt %d)", tk.id, tk.tenant, tk.bug, tk.attempt)
-				s.dispatch(t, tk)
-				continue
-			}
-			if tk.leaseUntil.IsZero() && !t.live(2*s.opts.LeaseTTL) &&
-				now.Sub(tk.queued) > s.opts.NoAgentTimeout {
-				s.logf("task %d (%s/%s) lost: no live agents", tk.id, tk.tenant, tk.bug)
-				s.markLost(tk)
-			}
-		}
-		s.evictDoneTasks(now)
-		s.mu.Unlock()
+		s.reapOnce(s.now())
 	}
 }
 
-// wireTask renders a task for the wire. Caller holds mu (or the task is
-// freshly leased and unshared).
-func wireTask(tk *task) *WireTask {
-	return &WireTask{
+// reapOnce runs one reaper sweep at the given instant: past-deadline
+// tasks and campaigns are written off, expired leases send tasks back
+// to the queue for reassignment (or write them off past the attempt
+// budget), over-threshold leased tasks are hedged to a second agent,
+// queued tasks with no live fleet are written off after NoAgentTimeout,
+// and stale idempotency keys are evicted. Tests drive it directly with
+// an injected clock instead of sleeping through wall time.
+func (s *Server) reapOnce(now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	hedgeTh := s.hedgeThreshold()
+	for _, tk := range s.tasks {
+		if tk.done {
+			continue
+		}
+		t := s.tenant(tk.tenant)
+		if !tk.deadline.IsZero() && now.After(tk.deadline) {
+			s.logf("task %d (%s/%s) written off: deadline exceeded", tk.id, tk.tenant, tk.bug)
+			s.metrics.add(func(m *Counters) { m.DeadlineExpired++ })
+			s.markLost(tk)
+			continue
+		}
+		if !tk.leaseUntil.IsZero() && now.After(tk.leaseUntil) {
+			// The agent holding the lease went quiet.
+			if tk.attempt >= s.opts.MaxTaskAttempts {
+				s.logf("task %d (%s/%s) lost after %d attempts", tk.id, tk.tenant, tk.bug, tk.attempt)
+				s.markLost(tk)
+				continue
+			}
+			tk.agent = ""
+			tk.leaseUntil = time.Time{}
+			s.metrics.add(func(m *Counters) { m.Reassigned++ })
+			s.opts.Telemetry.AddL(tk.tenant+"/"+tk.bug, "service.reassigned", 1)
+			s.logf("task %d (%s/%s) lease expired; requeued (attempt %d)", tk.id, tk.tenant, tk.bug, tk.attempt)
+			s.dispatch(t, tk)
+			continue
+		}
+		if hedgeTh > 0 && !tk.hedged && !tk.leaseUntil.IsZero() &&
+			tk.attempt < s.opts.MaxTaskAttempts && now.Sub(tk.leasedAt) > hedgeTh {
+			// Straggler: the lease is alive but the run has outlived the
+			// hedge threshold. Re-dispatch the same task — same ID, same
+			// spec — to a second agent; determinism makes both results
+			// byte-identical and the idempotency key admits exactly one.
+			tk.hedged = true
+			s.metrics.add(func(m *Counters) { m.HedgedTasks++ })
+			s.opts.Telemetry.AddL(tk.tenant+"/"+tk.bug, "service.hedged", 1)
+			s.logf("task %d (%s/%s) hedged after %v (threshold %v)", tk.id, tk.tenant, tk.bug, now.Sub(tk.leasedAt), hedgeTh)
+			s.dispatch(t, tk)
+			continue
+		}
+		if tk.leaseUntil.IsZero() && !t.live(now, 2*s.opts.LeaseTTL) &&
+			now.Sub(tk.queued) > s.opts.NoAgentTimeout {
+			s.logf("task %d (%s/%s) lost: no live agents", tk.id, tk.tenant, tk.bug)
+			s.markLost(tk)
+		}
+	}
+	// Campaign deadlines: mark expiry exactly once and unpark queued
+	// launches. Running campaigns see their remaining tasks written off
+	// above on subsequent sweeps and fail on completion.
+	for _, t := range s.tenants {
+		for _, cs := range t.campaigns {
+			if cs.deadline.IsZero() || cs.expired {
+				continue
+			}
+			if (cs.state == StateQueued || cs.state == StateRunning) && now.After(cs.deadline) {
+				cs.expired = true
+				close(cs.abort)
+			}
+		}
+	}
+	s.evictDoneTasks(now)
+}
+
+// hedgeThreshold is the leased runtime above which a task is hedged:
+// the p95 of completed run durations once enough samples exist, floored
+// by HedgeAfter. Zero when hedging is off. Caller holds mu.
+func (s *Server) hedgeThreshold() time.Duration {
+	if s.opts.HedgeAfter <= 0 {
+		return 0
+	}
+	th := s.opts.HedgeAfter
+	if len(s.runDur) >= 20 {
+		sl := append([]float64(nil), s.runDur...)
+		sort.Float64s(sl)
+		if p := time.Duration(percentile(sl, 0.95) * float64(time.Millisecond)); p > th {
+			th = p
+		}
+	}
+	return th
+}
+
+// observeRunDuration records one completed run's leased runtime in the
+// bounded sample ring. Caller holds mu.
+func (s *Server) observeRunDuration(d time.Duration) {
+	const ringCap = 512
+	ms := float64(d.Microseconds()) / 1000
+	if len(s.runDur) < ringCap {
+		s.runDur = append(s.runDur, ms)
+		return
+	}
+	s.runDur[s.runDurPos] = ms
+	s.runDurPos = (s.runDurPos + 1) % ringCap
+}
+
+// wireTask renders a task for the wire, deadline rebased to a remaining
+// budget. Caller holds mu (or the task is freshly leased and unshared).
+func (s *Server) wireTask(tk *task) *WireTask {
+	w := &WireTask{
 		TaskID:  tk.id,
 		Tenant:  tk.tenant,
 		Bug:     tk.bug,
@@ -999,6 +1373,13 @@ func wireTask(tk *task) *WireTask {
 		Faults:  tk.fcfg,
 		Attempt: tk.attempt,
 	}
+	if !tk.deadline.IsZero() {
+		w.DeadlineMs = tk.deadline.Sub(s.now()).Milliseconds()
+		if w.DeadlineMs == 0 {
+			w.DeadlineMs = -1 // expired exactly now; the agent must decline
+		}
+	}
+	return w
 }
 
 // sanitizeLabel maps a tenant label to a safe path segment.
@@ -1039,6 +1420,18 @@ type Counters struct {
 	// SketchReloads counts sketch fetches re-rendered from the
 	// checkpoint store after LRU eviction.
 	SketchReloads int64
+	// ShedRateLimited counts submits bounced by a tenant's token
+	// bucket; ShedLaunches counts novel signatures shed because the
+	// launch queue was at budget (or the server was draining).
+	ShedRateLimited int64
+	ShedLaunches    int64
+	// HedgedTasks counts stragglers speculatively re-dispatched;
+	// HedgedResults counts uploads admitted for hedged tasks.
+	HedgedTasks   int64
+	HedgedResults int64
+	// DeadlineExpired counts tasks written off and campaigns failed by
+	// deadline propagation.
+	DeadlineExpired int64
 }
 
 // RPCStat is the latency distribution of one wire path.

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -26,12 +27,36 @@ func enqueueTask(s *Server, tenant, bug string) *task {
 		bug:    bug,
 		window: []int{1, 2, 3},
 		spec:   core.RunSpec{Seed: 42, EndpointID: 7},
-		queued: time.Now(),
+		queued: s.now(),
 		doneCh: make(chan struct{}),
 	}
 	s.tasks[tk.id] = tk
 	s.dispatch(t, tk)
 	return tk
+}
+
+// fakeClock is a hand-advanced clock injected via Options.Now so lease
+// and reaper tests drive s.reapOnce directly instead of sleeping
+// through wall time.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
 }
 
 func TestUploadIdempotency(t *testing.T) {
@@ -151,7 +176,8 @@ func TestPollDeliversQueuedTask(t *testing.T) {
 }
 
 func TestLeaseExpiryReassignsTask(t *testing.T) {
-	s := NewServer(Options{LeaseTTL: 40 * time.Millisecond, MaxTaskAttempts: 5})
+	clk := newFakeClock()
+	s := NewServer(Options{LeaseTTL: 40 * time.Millisecond, MaxTaskAttempts: 5, Now: clk.Now})
 	defer s.Close()
 	tk := enqueueTask(s, "acme", "pbzip2")
 
@@ -161,24 +187,19 @@ func TestLeaseExpiryReassignsTask(t *testing.T) {
 		t.Fatalf("first poll = %+v, %v", resp, err)
 	}
 
-	// After the lease expires the reaper requeues it; a2 picks it up.
-	deadline := time.Now().Add(5 * time.Second)
-	var got *WireTask
-	for time.Now().Before(deadline) {
-		r, err := s.handlePoll(&PollRequest{Tenant: "acme", Agent: "a2", WaitMs: 50})
-		if err != nil {
-			t.Fatalf("poll: %v", err)
-		}
-		if r.Task != nil {
-			got = r.Task
-			break
-		}
+	// Step the clock past the lease and run one reaper sweep: the task
+	// requeues and a2 picks it up — no wall-clock waiting.
+	clk.Advance(50 * time.Millisecond)
+	s.reapOnce(clk.Now())
+	got, err := s.handlePoll(&PollRequest{Tenant: "acme", Agent: "a2", WaitMs: 100})
+	if err != nil {
+		t.Fatalf("poll: %v", err)
 	}
-	if got == nil || got.TaskID != tk.id {
-		t.Fatalf("reassigned poll = %+v, want task %d", got, tk.id)
+	if got.Task == nil || got.Task.TaskID != tk.id {
+		t.Fatalf("reassigned poll = %+v, want task %d", got.Task, tk.id)
 	}
-	if got.Attempt != 2 {
-		t.Fatalf("reassigned attempt = %d, want 2", got.Attempt)
+	if got.Task.Attempt != 2 {
+		t.Fatalf("reassigned attempt = %d, want 2", got.Task.Attempt)
 	}
 	c, _ := s.Snapshot()
 	if c.Reassigned == 0 {
@@ -193,16 +214,20 @@ func TestLeaseExpiryReassignsTask(t *testing.T) {
 }
 
 func TestTaskLostAfterAttemptBudget(t *testing.T) {
-	s := NewServer(Options{LeaseTTL: 30 * time.Millisecond, MaxTaskAttempts: 1})
+	clk := newFakeClock()
+	s := NewServer(Options{LeaseTTL: 30 * time.Millisecond, MaxTaskAttempts: 1, Now: clk.Now})
 	defer s.Close()
 	tk := enqueueTask(s, "acme", "pbzip2")
 	if r, err := s.handlePoll(&PollRequest{Tenant: "acme", Agent: "a1", WaitMs: 100}); err != nil || r.Task == nil {
 		t.Fatalf("poll = %+v, %v", r, err)
 	}
+	// The only allowed attempt expires; the next sweep writes it off.
+	clk.Advance(40 * time.Millisecond)
+	s.reapOnce(clk.Now())
 	select {
 	case <-tk.doneCh:
-	case <-time.After(5 * time.Second):
-		t.Fatal("task never written off after its only lease expired")
+	default:
+		t.Fatal("task not written off after its only lease expired")
 	}
 	s.mu.Lock()
 	lost := tk.lost
@@ -217,18 +242,21 @@ func TestTaskLostAfterAttemptBudget(t *testing.T) {
 }
 
 func TestHeartbeatExtendsLease(t *testing.T) {
-	s := NewServer(Options{LeaseTTL: 60 * time.Millisecond, MaxTaskAttempts: 5})
+	clk := newFakeClock()
+	s := NewServer(Options{LeaseTTL: 60 * time.Millisecond, MaxTaskAttempts: 5, Now: clk.Now})
 	defer s.Close()
 	tk := enqueueTask(s, "acme", "pbzip2")
 	if r, err := s.handlePoll(&PollRequest{Tenant: "acme", Agent: "a1", WaitMs: 100}); err != nil || r.Task == nil {
 		t.Fatalf("poll = %+v, %v", r, err)
 	}
-	// Heartbeat for 5 lease lifetimes; the task must stay leased to a1.
+	// Heartbeat across 5 lease lifetimes of fake time, sweeping the
+	// reaper at every step; the task must stay leased to a1.
 	for i := 0; i < 15; i++ {
 		if _, err := s.handleHeartbeat(&HeartbeatRequest{Tenant: "acme", Agent: "a1"}); err != nil {
 			t.Fatalf("heartbeat: %v", err)
 		}
-		time.Sleep(20 * time.Millisecond)
+		clk.Advance(20 * time.Millisecond)
+		s.reapOnce(clk.Now())
 	}
 	s.mu.Lock()
 	agent, attempt := tk.agent, tk.attempt

@@ -64,12 +64,19 @@ const (
 	PathHeartbeat = "/v1/agents/heartbeat"
 	PathUpload    = "/v1/traces"
 	PathHealthz   = "/v1/healthz"
+	PathHealth    = "/v1/health"
 )
 
 // ChecksumHeader carries the CRC-32C (Castagnoli) of the request body,
 // in decimal. The server rejects a body whose checksum disagrees with
 // HTTP 400 before decoding a byte of JSON.
 const ChecksumHeader = "X-Gist-Crc32c"
+
+// RetryAfterMsHeader carries the server's shed back-pressure hint in
+// milliseconds alongside the standard integer-seconds Retry-After
+// header. Sub-second token-bucket refills need the precision; clients
+// prefer this header and fall back to Retry-After.
+const RetryAfterMsHeader = "X-Gist-Retry-After-Ms"
 
 var wireCastagnoli = crc32.MakeTable(crc32.Castagnoli)
 
@@ -98,6 +105,12 @@ type SubmitRequest struct {
 	// failure — the campaign's run-budget accounting needs it to match a
 	// server-side discovery byte for byte.
 	DiscoveryRuns int `json:"discovery_runs,omitempty"`
+	// DeadlineMs bounds the diagnosis end to end, relative to admission
+	// (0 = none). The server stamps an absolute deadline on the campaign
+	// and its tasks, ships the remaining budget to agents with each
+	// lease, and fails the campaign — rather than serving a partial
+	// sketch — when the deadline expires.
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
 }
 
 // SubmitResponse acknowledges a submission.
@@ -125,9 +138,15 @@ type StatusRequest struct {
 // Campaign states reported by StatusResponse.
 const (
 	StateUnknown = "unknown" // no such campaign
+	// StateQueued marks an admitted novel signature parked in the
+	// bounded launch queue behind the global in-flight cap.
+	StateQueued  = "queued"
 	StateRunning = "running"
 	StateDone    = "done"
 	StateFailed  = "failed"
+	// StateDrained marks a campaign checkpointed and suspended by a
+	// server drain; its diagnosis resumes from the durable generation.
+	StateDrained = "drained"
 )
 
 // StatusResponse reports a campaign's state.
@@ -209,6 +228,10 @@ type WireTask struct {
 	Spec    core.RunSpec  `json:"spec"`
 	Faults  faults.Config `json:"faults"`
 	Attempt int           `json:"attempt"`
+	// DeadlineMs is the run budget remaining at lease time: 0 means no
+	// deadline, negative means the deadline already passed and the agent
+	// must decline the run (the reaper writes it off server-side).
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
 }
 
 // UploadRequest delivers one finished run. TaskID is the idempotency
@@ -237,6 +260,36 @@ type UploadResponse struct {
 // ErrorResponse is the JSON body of every non-200 reply.
 type ErrorResponse struct {
 	Err string `json:"err"`
+}
+
+// HealthResponse is the /v1/health readiness report: queue depths, shed
+// counters, and the fleet-health aggregate across finished campaigns.
+// Unlike the liveness probe (/v1/healthz, always 200 while the process
+// runs), /v1/health answers 503 when the server is draining or its
+// launch queue is full — the signal a load balancer needs to steer
+// submits elsewhere.
+type HealthResponse struct {
+	Ready    bool `json:"ready"`
+	Draining bool `json:"draining,omitempty"`
+	// InflightCampaigns is how many campaigns hold a launch slot;
+	// QueuedLaunches how many admitted novel signatures are parked
+	// behind the in-flight cap (including ones racing to a free slot),
+	// and MaxQueuedLaunches the high-water mark of occupancy beyond the
+	// cap over the server's life — the admission gate bounds it by the
+	// launch budget.
+	InflightCampaigns int `json:"inflight_campaigns"`
+	QueuedLaunches    int `json:"queued_launches"`
+	MaxQueuedLaunches int `json:"max_queued_launches"`
+	// QueuedTasks is the sum of all tenants' dispatch queues; DoneTasks
+	// the retained idempotency keys (both bounded: tasks by the
+	// in-flight cap, keys by TTL + MaxDoneTasks).
+	QueuedTasks int `json:"queued_tasks"`
+	DoneTasks   int `json:"done_tasks"`
+	// Counters are the server's scalar health counters, shed and hedge
+	// counters included.
+	Counters Counters `json:"counters"`
+	// Fleet aggregates FleetHealth across every finished campaign.
+	Fleet core.FleetHealth `json:"fleet"`
 }
 
 // WireTrace is core.RunTrace flattened for JSON: the executed-set map
